@@ -1,0 +1,78 @@
+"""Flow-level ablations for the design choices DESIGN.md calls out.
+
+* **Compaction on/off** — how much of the final flow-b result the
+  regularity-driven compaction step is worth (the paper motivates it but
+  never ablates it);
+* **Routing-track sweep** — the paper's future work ("exploring regular
+  routing architectures for the VPGA fabric"): how track count over the
+  PLB array trades congestion against the post-layout slack.
+"""
+
+from dataclasses import replace
+
+from conftest import write_result
+
+from repro.flow.experiments import build_design, default_options
+from repro.flow.flow import run_design
+
+
+def test_ablation_compaction(benchmark):
+    """Disable logic compaction and measure the flow-b impact."""
+    options = replace(default_options(), place_effort=0.1)
+    scale = 0.4
+
+    def run_pair():
+        with_c = run_design(build_design("alu", scale), "granular", options)
+        without = run_design(
+            build_design("alu", scale), "granular",
+            replace(options, run_compaction=False),
+        )
+        return with_c, without
+
+    with_c, without = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    lines = [
+        "Ablation: logic compaction (granular ALU)",
+        f"  with compaction:    area={with_c.synthesis.stats.total_area:8.0f} "
+        f"die_b={with_c.flow_b.die_area:8.0f} plbs={with_c.flow_b.plbs_used}",
+        f"  without compaction: area={without.synthesis.stats.total_area:8.0f} "
+        f"die_b={without.flow_b.die_area:8.0f} plbs={without.flow_b.plbs_used}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_compaction.txt", text)
+
+    # Compaction must never hurt gate area, and should not hurt PLB count.
+    assert with_c.synthesis.stats.total_area <= without.synthesis.stats.total_area
+    assert with_c.flow_b.die_area <= without.flow_b.die_area * 1.10
+
+
+def test_ablation_routing_tracks(benchmark):
+    """Sweep per-tile track count over the PLB array (future-work axis)."""
+    scale = 0.4
+    results = {}
+
+    def sweep():
+        for tracks in (6, 12, 28):
+            options = replace(
+                default_options(), place_effort=0.1, routing_tracks=tracks
+            )
+            run = run_design(build_design("alu", scale), "granular", options)
+            results[tracks] = run.flow_b
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: routing tracks over the PLB array (granular ALU)"]
+    for tracks, flow_b in sorted(results.items()):
+        lines.append(
+            f"  tracks={tracks:3d}: routed={str(flow_b.routing.success):5s} "
+            f"overused={flow_b.routing.overused_edges:3d} "
+            f"slack_b={flow_b.average_slack:7.3f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_routing.txt", text)
+
+    # More tracks can only reduce overuse.
+    overuse = [results[t].routing.overused_edges for t in (6, 12, 28)]
+    assert overuse[0] >= overuse[1] >= overuse[2]
+    assert results[28].routing.success

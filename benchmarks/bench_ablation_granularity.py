@@ -1,0 +1,86 @@
+"""Ablation: PLB granularity design-space sweep (the paper's conclusion).
+
+"our results suggest that the logic block architecture should consist of
+some combination of Nand gates with programmable inversion, XOR gates,
+and MUXes ... the optimal combination of these logic elements, and the
+optimal ratio of combinational to sequential logic elements varies with
+the application-domain."
+
+Sweeps candidate PLBs along two axes — mux count (granularity) and DFF
+ratio (application domain) — through the granularity explorer, and runs
+the two paper architectures end-to-end on a datapath and a control design
+to confirm the domain crossover.
+"""
+
+from conftest import write_result
+
+from repro.core.explorer import (
+    CandidatePLB,
+    GranularityExplorer,
+    paper_candidates,
+)
+from repro.flow.experiments import run_table1
+
+
+def test_explorer_ranks_granular_first(benchmark):
+    explorer = GranularityExplorer()
+    ranked = benchmark.pedantic(
+        lambda: explorer.rank(paper_candidates()), rounds=1, iterations=1
+    )
+    lines = ["Granularity ablation (lower score = better):"]
+    for candidate, metrics, score in ranked:
+        lines.append(
+            f"  {metrics.name:14s} area={metrics.total_area:6.1f} "
+            f"lut_free={metrics.lut_free_coverage:3d}/256 "
+            f"FA_in_1_PLB={str(metrics.full_adder_in_one_plb):5s} "
+            f"score={score:7.2f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_granularity.txt", text)
+
+    names = [metrics.name for _c, metrics, _s in ranked]
+    assert names[0] == "granular_plb"
+    assert names.index("granular_plb") < names.index("lut_plb")
+
+
+def test_mux_count_sweep():
+    """More muxes help up to the point where coverage stops improving."""
+    explorer = GranularityExplorer()
+    metrics = {}
+    for n_mux in (1, 2, 3, 4):
+        slots = {"MUX2": max(0, n_mux - 1), "XOA": min(1, n_mux),
+                 "ND3WI": 1, "DFF": 1}
+        metrics[n_mux] = explorer.evaluate(CandidatePLB(f"mux{n_mux}", slots))
+    # Coverage without a LUT is monotone in mux count.
+    coverages = [metrics[n].lut_free_coverage for n in (1, 2, 3, 4)]
+    assert coverages == sorted(coverages)
+    # Two muxes already cover everything (XOAMX + composites).
+    assert metrics[2].lut_free_coverage == 256
+    # Full-adder packing needs the third mux.
+    assert not metrics[2].full_adder_in_one_plb
+    assert metrics[3].full_adder_in_one_plb
+
+
+def test_domain_crossover(matrix):
+    """Granular wins datapath, loses the sequential-dominated design."""
+    table = run_table1(matrix)
+    assert table.rows["fpu"].granular_reduction > 0
+    assert table.rows["alu"].granular_reduction > 0
+    assert table.rows["firewire"].granular_reduction < 0
+
+
+def test_dff_ratio_axis():
+    """A seq-heavy PLB trades area for DFF capacity — the Firewire fix
+    the paper proposes ('a PLB with a greater ratio of Flip Flops to
+    combinational logic elements')."""
+    explorer = GranularityExplorer()
+    base = explorer.evaluate(
+        CandidatePLB("base", {"MUX2": 2, "XOA": 1, "ND3WI": 1, "DFF": 1})
+    )
+    seq = explorer.evaluate(
+        CandidatePLB("seq", {"MUX2": 2, "XOA": 1, "ND3WI": 1, "DFF": 3})
+    )
+    assert seq.total_area > base.total_area
+    assert seq.dff_count == 3
+    assert seq.sequential_fraction > base.sequential_fraction

@@ -1,0 +1,77 @@
+"""Benchmark: application-domain-specific PLB exploration (future work).
+
+The paper's closing proposal — "the optimal combination of these logic
+elements, and the optimal ratio of combinational to sequential logic
+elements varies with the application-domain.  Accordingly, we propose to
+explore these issues in an application-domain specific manner" — run for
+real: custom PLB architectures (built with :func:`repro.core.plb.custom_plb`)
+go through the complete Figure-6 flow on a datapath design (ALU) and the
+sequential-dominated Firewire.
+
+Expected crossover: the paper's granular PLB wins the datapath; a
+DFF-enriched variant wins Firewire (the fix Section 3.2 suggests).
+"""
+
+from conftest import write_result
+
+from repro.core.plb import custom_plb
+from repro.flow.experiments import build_design, default_options
+from repro.flow.flow import run_design
+
+SCALE = 0.4
+
+
+def _candidates():
+    return {
+        "granular": "granular",
+        "seq_heavy": custom_plb(
+            "seq_heavy", {"MUX2": 2, "XOA": 1, "ND3WI": 1, "DFF": 3}
+        ),
+        "mux_rich": custom_plb(
+            "mux_rich", {"MUX2": 3, "XOA": 1, "ND3WI": 1, "DFF": 1}
+        ),
+    }
+
+
+def test_domain_specific_exploration(benchmark):
+    from dataclasses import replace
+
+    options = replace(default_options(), place_effort=0.1)
+    results = {}
+
+    def sweep():
+        for design in ("alu", "firewire"):
+            src = build_design(design, SCALE)
+            for label, arch in _candidates().items():
+                run = run_design(src.copy(), arch, options)
+                results[(design, label)] = run.flow_b
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Domain-specific PLB exploration (flow b die area, um^2):"]
+    for design in ("alu", "firewire"):
+        row = {
+            label: results[(design, label)].die_area
+            for label in _candidates()
+        }
+        best = min(row, key=row.get)
+        lines.append(
+            f"  {design:9s} " +
+            "  ".join(f"{label}={area:8.0f}" for label, area in row.items()) +
+            f"   best: {best}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("domain_specific.txt", text)
+
+    # The crossover: granular-class PLBs win the datapath, the DFF-heavy
+    # variant wins the sequential-dominated controller.
+    alu_best = min(
+        _candidates(), key=lambda l: results[("alu", l)].die_area
+    )
+    fw_best = min(
+        _candidates(), key=lambda l: results[("firewire", l)].die_area
+    )
+    assert alu_best != "seq_heavy"
+    assert fw_best == "seq_heavy"

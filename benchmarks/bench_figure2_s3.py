@@ -1,0 +1,65 @@
+"""Benchmark regenerating the paper's Section 2 function analysis.
+
+* Figure 2: the five categories of S3-infeasible 3-input functions
+  (28 + 28 + 1 + 1 + 2 = 60; 196 of 256 are S3-feasible);
+* Figure 3: the modified S3 cell covers all 256 functions;
+* Figure 5: a 3-LUT is exactly three re-arranged 2:1 MUXes (all 256
+  configurations verified);
+* Section 2.3: coverage of the granular logic configurations
+  (MX / ND3 / NDMX / XOAMX / XOANDMX) whose union needs no LUT.
+
+Everything is computed by exhaustive enumeration, so this also serves as
+a microbenchmark of the Boolean substrate.
+"""
+
+from conftest import write_result
+
+from repro.core.configs import coverage_summary, granular_configs
+from repro.core.lut_decompose import decompose_lut3
+from repro.core.s3 import S3Category
+from repro.flow.experiments import run_figure2
+from repro.logic.truthtable import TruthTable
+
+
+def _figure2():
+    # Recompute from scratch (clear enumeration caches are cheap and the
+    # benchmark should time the real enumeration at least once warm).
+    return run_figure2()
+
+
+def test_figure2_categories(benchmark):
+    data = benchmark(_figure2)
+    text = data.format()
+    print("\n" + text)
+    write_result("figure2_s3.txt", text)
+
+    assert data.s3_feasible == 196
+    assert data.s3_infeasible == 60
+    assert data.category_counts[S3Category.ND2WI_COFACTOR_WITH_XOR.name] == 28
+    assert data.category_counts[S3Category.XOR_COFACTOR_WITH_ND2WI.name] == 28
+    assert data.category_counts[S3Category.BOTH_XOR.name] == 1
+    assert data.category_counts[S3Category.BOTH_XNOR.name] == 1
+    assert data.category_counts[S3Category.COMPLEMENTARY_XOR.name] == 2
+    assert data.modified_s3_coverage == 256
+
+
+def test_figure5_lut_split(benchmark):
+    def split_all():
+        return all(
+            decompose_lut3(TruthTable(3, mask)).evaluate() == TruthTable(3, mask)
+            for mask in range(256)
+        )
+
+    assert benchmark(split_all)
+
+
+def test_granular_config_coverage(benchmark):
+    summary = benchmark(coverage_summary)
+    print("\nGranular configuration coverage:", summary)
+    assert summary == {
+        "ND3": 48, "MX": 62, "NDMX": 174, "XOAMX": 224, "XOANDMX": 254,
+    }
+    union = set()
+    for config in granular_configs():
+        union |= config.functions
+    assert len(union) == 256

@@ -1,0 +1,125 @@
+"""Per-stage flow microbenchmarks (Figure 6 pipeline costs).
+
+Times each stage of the flow on the ALU at benchmark scale: synthesis +
+mapping, logic compaction, physical synthesis (SA placement), packing,
+and routing + extraction.  Useful for tracking performance of the CAD
+substrates themselves.
+"""
+
+import pytest
+
+from repro.cells.characterize import characterize_library
+from repro.cells.library import granular_plb_library
+from repro.core.plb import granular_plb
+from repro.flow.experiments import build_design
+from repro.pack.iterative import run_packing_loop
+from repro.place.physical_synthesis import run_physical_synthesis
+from repro.route.extract import route_and_extract
+from repro.route.grid import RoutingGrid
+from repro.synth.compaction import compact
+from repro.synth.from_netlist import CombCore, extract_core
+from repro.synth.optimize import optimize
+from repro.synth.techmap import map_core
+
+ARCH = "granular"
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def stage_artifacts():
+    """Run the flow once, capturing each stage's inputs."""
+    library = granular_plb_library()
+    timing = characterize_library(library)
+    arch = granular_plb()
+    src = build_design("alu", scale=SCALE)
+    core = extract_core(src)
+    core = CombCore(
+        aig=optimize(core.aig),
+        primary_inputs=core.primary_inputs,
+        primary_outputs=core.primary_outputs,
+        dffs=core.dffs,
+    )
+    mapped = map_core(core, ARCH, library)
+    compacted, _report = compact(mapped, ARCH, library)
+    physical = run_physical_synthesis(
+        compacted.copy(), library, timing, period=0.5, seed=1, effort=0.1
+    )
+    return {
+        "src": src,
+        "core": core,
+        "library": library,
+        "timing": timing,
+        "arch": arch,
+        "mapped": mapped,
+        "compacted": compacted,
+        "physical": physical,
+    }
+
+
+def test_stage_synthesis(benchmark, stage_artifacts):
+    src = stage_artifacts["src"]
+
+    def synth():
+        core = extract_core(src)
+        return optimize(core.aig)
+
+    aig = benchmark(synth)
+    assert aig.n_ands() > 0
+
+
+def test_stage_techmap(benchmark, stage_artifacts):
+    core = stage_artifacts["core"]
+    library = stage_artifacts["library"]
+    mapped = benchmark(lambda: map_core(core, ARCH, library))
+    assert len(mapped.instances) > 0
+
+
+def test_stage_compaction(benchmark, stage_artifacts):
+    mapped = stage_artifacts["mapped"]
+    library = stage_artifacts["library"]
+    _net, report = benchmark(lambda: compact(mapped, ARCH, library))
+    assert report.area_after <= report.area_before
+
+
+def test_stage_placement(benchmark, stage_artifacts):
+    compacted = stage_artifacts["compacted"]
+    library = stage_artifacts["library"]
+    timing = stage_artifacts["timing"]
+
+    result = benchmark.pedantic(
+        lambda: run_physical_synthesis(
+            compacted.copy(), library, timing, period=0.5, seed=2,
+            iterations=1, effort=0.1,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.timing.critical_path_delay > 0
+
+
+def test_stage_packing(benchmark, stage_artifacts):
+    physical = stage_artifacts["physical"]
+    packed = benchmark.pedantic(
+        lambda: run_packing_loop(
+            physical.netlist.copy(), physical.placement,
+            stage_artifacts["arch"], stage_artifacts["library"],
+            stage_artifacts["timing"], period=0.5, iterations=1,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert packed.die_area > 0
+
+
+def test_stage_routing(benchmark, stage_artifacts):
+    physical = stage_artifacts["physical"]
+    grid = physical.placement.grid
+    routing_grid = RoutingGrid(
+        cols=max(2, grid.cols // 3),
+        rows=max(2, grid.rows // 3),
+        bin_pitch=grid.pitch * 3,
+        tracks=28,
+    )
+    points = physical.placement.net_pin_points(physical.netlist)
+    result, model = benchmark.pedantic(
+        lambda: route_and_extract(routing_grid, points), rounds=1, iterations=1
+    )
+    assert result.nets

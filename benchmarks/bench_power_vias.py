@@ -1,0 +1,86 @@
+"""Extension benchmarks: power comparison and via-programmability cost.
+
+Beyond the paper's area/timing evaluation (its companion work [10] also
+compares power), this reports:
+
+* estimated post-packing power per design and architecture — the LUT
+  PLB's larger arrays leak more and its LUT input caps burn more dynamic
+  power on datapath designs;
+* the via-site accounting behind the paper's Section 1 argument that
+  heterogeneity is cheap for via-patterned fabrics.
+"""
+
+from conftest import write_result
+
+from repro.core.vias import design_via_stats, granularity_cost_comparison
+from repro.flow.flow import architecture_of
+from repro.power.power import estimate_power
+
+
+def test_power_comparison(benchmark, matrix):
+    def compute():
+        rows = {}
+        for (design, arch), run in matrix.runs.items():
+            report = estimate_power(
+                run.physical.netlist,
+                run.synthesis.timing_library,
+                wires=run.physical.wires,
+                leakage_area_um2=run.flow_b.die_area,
+            )
+            rows[(design, arch)] = report
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["Estimated flow-b power (mW @ 200 MHz):",
+             f"{'design':12s} {'arch':9s} {'dynamic':>8s} {'clock':>7s} "
+             f"{'leakage':>8s} {'total':>7s}"]
+    for (design, arch), report in sorted(rows.items()):
+        lines.append(
+            f"{design:12s} {arch:9s} {report.dynamic:8.3f} {report.clock:7.3f} "
+            f"{report.leakage:8.4f} {report.total:7.3f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("power.txt", text)
+
+    # On datapath designs the granular implementation should not burn
+    # more total power than the LUT one (smaller arrays, cheaper pins).
+    for design in ("alu", "fpu"):
+        gran = rows[(design, "granular")].total
+        lut = rows[(design, "lut")].total
+        assert gran < lut * 1.10, design
+
+
+def test_via_cost_argument(benchmark, matrix):
+    comparison = benchmark(granularity_cost_comparison)
+    lines = ["Via-programmability cost per PLB:"]
+    for name, stats in comparison.items():
+        lines.append(
+            f"  {name:9s} sites={stats['potential_sites']:5.0f} "
+            f"via_area={stats['via_site_area_um2']:6.1f} um^2 "
+            f"({stats['site_area_fraction']:.1%} of PLB), "
+            f"SRAM equiv={stats['sram_equivalent_area_um2']:7.1f} um^2 "
+            f"({stats['sram_area_fraction']:.1f}x PLB)"
+        )
+    # Per-design configured-via utilization.
+    for (design, arch), run in sorted(matrix.runs.items()):
+        stats = design_via_stats(
+            run.physical.netlist, architecture_of(arch),
+            run.flow_b.plbs_used, design=design,
+        )
+        lines.append(
+            f"  {design:12s} {arch:9s} configured={stats.configured_vias:6d} "
+            f"of {stats.potential_sites:6d} sites "
+            f"({stats.utilization:.1%})"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("vias.txt", text)
+
+    gran = comparison["granular"]
+    lut = comparison["lut"]
+    # The paper's argument: more sites, but still a modest area fraction,
+    # while SRAM-programmed equivalents would dominate the block.
+    assert gran["potential_sites"] > lut["potential_sites"]
+    assert gran["site_area_fraction"] < 0.5
+    assert gran["sram_area_fraction"] > 1.0

@@ -1,0 +1,44 @@
+"""Benchmark regenerating paper Table 1: die-area comparison.
+
+Runs the full Figure-6 flow (synthesis, compaction, physical synthesis,
+packing, routing, STA) for every design on both PLB architectures and
+reports flow-a / flow-b die areas plus the paper's derived claims:
+
+* T1-a: granular PLB reduces datapath die area ~32% on average;
+* T1-b: FPU reduction is the largest (paper: up to ~40%);
+* T1-c: the sequential-dominated Firewire gets *larger* (granular PLB is
+  20% bigger and both architectures are DFF-bound);
+* T1-d: the granular PLB pays far less flow-a -> flow-b packing overhead
+  on the datapath designs (paper: ~48% less on average, up to 88.6%).
+"""
+
+from conftest import write_result
+
+from repro.flow.experiments import run_table1
+
+
+def test_table1_die_area(benchmark, matrix):
+    table = benchmark.pedantic(
+        lambda: run_table1(matrix), rounds=1, iterations=1
+    )
+    text = table.format()
+    print("\n" + text)
+    write_result("table1_area.txt", text)
+
+    # Shape assertions against the paper's claims.
+    assert table.datapath_average_reduction > 0.15, "T1-a: granular must win on datapath"
+    assert table.fpu_reduction > 0.25, "T1-b: FPU is the biggest win"
+    assert table.firewire_reduction < 0.0, "T1-c: Firewire must invert"
+    assert table.datapath_overhead_reduction > 0.0, "T1-d: less packing overhead"
+
+    # The Firewire inversion tracks the PLB area ratio (both DFF-bound).
+    assert -0.35 < table.firewire_reduction < -0.05
+
+
+def test_table1_flow_b_exceeds_flow_a_on_datapath(matrix):
+    """Packing a regular array always costs area over the raw ASIC flow."""
+    table = run_table1(matrix)
+    for design in ("alu", "fpu", "netswitch"):
+        row = table.rows[design]
+        assert row.granular_flow_b > row.granular_flow_a
+        assert row.lut_flow_b > row.lut_flow_a

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Power and via-programmability analysis (extension example).
+
+Runs the FPU on both PLB architectures and compares:
+
+* estimated post-packing power (dynamic / clock / leakage) — the
+  probability-propagation activity model feeding the standard
+  0.5*a*C*V^2*f estimate;
+* configuration-via statistics — the silicon cost of each PLB's
+  programmability and the SRAM-bit equivalent an FPGA would pay, which
+  is the paper's Section 1 argument for via-patterned heterogeneity.
+
+Run:  python examples/power_and_vias.py
+"""
+
+from repro.core.vias import design_via_stats, granularity_cost_comparison
+from repro.flow.experiments import build_design
+from repro.flow.flow import FlowOptions, architecture_of, run_design
+from repro.power.power import estimate_power
+
+
+def main() -> None:
+    options = FlowOptions(place_effort=0.15, seed=3)
+    print("Running the FPU on both architectures...\n")
+
+    print(f"{'arch':10s} {'die b':>9s} {'dynamic':>9s} {'clock':>7s} "
+          f"{'leakage':>8s} {'total mW':>9s}")
+    runs = {}
+    for arch in ("lut", "granular"):
+        run = run_design(build_design("fpu", scale=0.5), arch, options)
+        runs[arch] = run
+        power = estimate_power(
+            run.physical.netlist,
+            run.synthesis.timing_library,
+            wires=run.physical.wires,
+            leakage_area_um2=run.flow_b.die_area,
+        )
+        print(f"{arch:10s} {run.flow_b.die_area:9.0f} {power.dynamic:9.3f} "
+              f"{power.clock:7.3f} {power.leakage:8.4f} {power.total:9.3f}")
+
+    print("\nVia-programmability cost per PLB:")
+    for name, stats in granularity_cost_comparison().items():
+        print(f"  {name:9s} {stats['potential_sites']:5.0f} sites, "
+              f"{stats['site_area_fraction']:.1%} of PLB area as via sites "
+              f"(SRAM equivalent would be {stats['sram_area_fraction']:.1f}x "
+              f"the whole PLB)")
+
+    print("\nConfigured vias for this FPU:")
+    for arch, run in runs.items():
+        stats = design_via_stats(
+            run.physical.netlist, architecture_of(arch),
+            run.flow_b.plbs_used, design="fpu",
+        )
+        print(f"  {arch:9s} {stats.configured_vias:6d} configured of "
+              f"{stats.potential_sites:6d} potential "
+              f"({stats.utilization:.1%} site utilization)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run one design through the full VPGA flow.
+
+Builds a 8-bit ALU, pushes it through both flows (paper Figure 6) on both
+PLB architectures, and prints the die-area and timing comparison — a
+single-design slice of the paper's Tables 1 and 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlowOptions, build_alu, run_design
+
+
+def main() -> None:
+    options = FlowOptions(place_effort=0.2, seed=1)
+    print("Running the 8-bit ALU through both architectures...\n")
+
+    runs = {}
+    for arch in ("lut", "granular"):
+        runs[arch] = run_design(build_alu(width=8), arch, options)
+
+    header = (
+        f"{'arch':10s} {'cells':>6s} {'compaction':>11s} "
+        f"{'die a (um^2)':>13s} {'die b (um^2)':>13s} "
+        f"{'slack a (ns)':>13s} {'slack b (ns)':>13s} {'PLBs':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for arch, run in runs.items():
+        print(
+            f"{arch:10s} {run.synthesis.stats.n_instances:6d} "
+            f"{run.synthesis.compaction.reduction:11.1%} "
+            f"{run.flow_a.die_area:13.0f} {run.flow_b.die_area:13.0f} "
+            f"{run.flow_a.average_slack:13.3f} {run.flow_b.average_slack:13.3f} "
+            f"{run.flow_b.plbs_used:6d}"
+        )
+
+    lut_b = runs["lut"].flow_b
+    gran_b = runs["granular"].flow_b
+    print(
+        f"\nGranular PLB vs LUT-based PLB (flow b): "
+        f"die area {1 - gran_b.die_area / lut_b.die_area:+.1%}, "
+        f"slack deficit {1 - (-gran_b.average_slack) / (-lut_b.average_slack):+.1%}"
+    )
+    print("(Paper: ~32% smaller on datapath designs, ~18% better slack.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Render the packed PLB array as SVG (the flow's "GDSII" artifact).
+
+Runs the ALU through flow b on both architectures and writes one SVG per
+architecture into ``results/``: tiles shaded by occupancy, slot marks
+colored by component class, routed nets overlaid as upper-metal segments.
+Open the files in any browser.
+
+Run:  python examples/render_layout.py
+"""
+
+import pathlib
+
+from repro.flow.experiments import build_design
+from repro.flow.flow import FlowOptions, architecture_of, run_design
+from repro.pack.quadrisection import pack
+from repro.pack.resources import size_array
+from repro.route.extract import route_and_extract
+from repro.route.grid import RoutingGrid
+from repro.viz import render_packing_svg
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> None:
+    RESULTS.mkdir(exist_ok=True)
+    options = FlowOptions(place_effort=0.15, seed=2)
+    for arch_name in ("lut", "granular"):
+        run = run_design(build_design("alu", scale=0.5), arch_name, options)
+        arch = architecture_of(arch_name)
+        netlist = run.physical.netlist
+        cols, rows = size_array(arch, netlist)
+        packing = pack(netlist, run.physical.placement, arch, cols, rows)
+        grid = RoutingGrid(
+            cols=cols, rows=rows, bin_pitch=arch.tile_side, tracks=28
+        )
+        routing, _ = route_and_extract(grid, packing.net_pin_points(netlist))
+        svg = render_packing_svg(
+            packing, routing,
+            title=f"ALU on the {arch_name} PLB array "
+                  f"({packing.die_area:.0f} um^2)",
+        )
+        path = RESULTS / f"layout_alu_{arch_name}.svg"
+        path.write_text(svg)
+        print(f"{arch_name:9s}: {packing.plbs_used}/{packing.n_plbs} PLBs, "
+              f"{routing.total_wirelength():.0f} um of routing -> {path}")
+
+
+if __name__ == "__main__":
+    main()

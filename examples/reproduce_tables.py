@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full 4-design x 2-architecture x 2-flow matrix and prints:
+
+* Table 1 (die area) with the paper's derived claims,
+* Table 2 (average slack over the top-10 critical paths),
+* the compaction summary (Section 3.1's ~15% claim),
+* the Figure 2 / Figure 3 / Section 2 function-analysis data.
+
+Design sizes follow ``REPRO_SCALE`` (default 1.0); expect a few minutes
+of pure-Python CAD at full scale.
+
+Run:  REPRO_SCALE=0.6 python examples/reproduce_tables.py
+"""
+
+import time
+
+from repro.flow.experiments import (
+    run_compaction_summary,
+    run_figure2,
+    run_matrix,
+    run_table1,
+    run_table2,
+)
+
+
+def main() -> None:
+    start = time.time()
+    print("Running the evaluation matrix (4 designs x 2 architectures)...")
+    matrix = run_matrix()
+    print(f"...done in {time.time() - start:.0f}s\n")
+
+    print(run_table1(matrix).format())
+    print()
+    print(run_table2(matrix).format())
+    print()
+    print(run_compaction_summary(matrix).format())
+    print()
+    print(run_figure2().format())
+
+
+if __name__ == "__main__":
+    main()

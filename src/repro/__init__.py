@@ -1,0 +1,67 @@
+"""repro: reproduction of "Exploring Logic Block Granularity for Regular
+Fabrics" (Koorapaty, Kheterpal, Gopalakrishnan, Fu, Pileggi — DATE 2004).
+
+The package implements the paper's granular via-patterned PLB architecture
+and the complete VPGA CAD flow it is evaluated with: Boolean function
+analysis (S3 / modified S3), both PLB architectures, synthesis onto the
+restricted component libraries, FlowMap-based logic compaction,
+simulated-annealing physical synthesis, recursive-quadrisection packing,
+PathFinder routing, and post-layout static timing analysis, plus the four
+benchmark designs of the evaluation.
+
+Quick start::
+
+    from repro import build_alu, run_design, FlowOptions
+
+    run = run_design(build_alu(8), "granular", FlowOptions(place_effort=0.3))
+    print(run.flow_b.die_area, run.flow_b.average_slack)
+"""
+
+from .core import (
+    PLBArchitecture,
+    custom_plb,
+    granular_plb,
+    lut_plb,
+    s3_feasible_set,
+    modified_s3_implementable,
+    granular_configs,
+    GranularityExplorer,
+    CandidatePLB,
+)
+from .designs import build_alu, build_firewire, build_fpu, build_netswitch
+from .flow import (
+    FlowOptions,
+    run_design,
+    run_figure2,
+    run_matrix,
+    run_table1,
+    run_table2,
+)
+from .netlist import Netlist, NetlistBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PLBArchitecture",
+    "custom_plb",
+    "granular_plb",
+    "lut_plb",
+    "s3_feasible_set",
+    "modified_s3_implementable",
+    "granular_configs",
+    "GranularityExplorer",
+    "CandidatePLB",
+    "build_alu",
+    "build_firewire",
+    "build_fpu",
+    "build_netswitch",
+    "FlowOptions",
+    "run_design",
+    "run_figure2",
+    "run_matrix",
+    "run_table1",
+    "run_table2",
+    "Netlist",
+    "NetlistBuilder",
+    "__version__",
+]

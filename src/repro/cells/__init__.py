@@ -1,0 +1,67 @@
+"""Component cells, restricted libraries, and timing characterization."""
+
+from .celltypes import (
+    CellType,
+    DFF_CLK_TO_Q_NS,
+    DFF_SETUP_NS,
+    TAU_NS,
+    make_buf,
+    make_dff,
+    make_inv,
+    make_lut3,
+    make_mux2,
+    make_nd2wi,
+    make_nd3wi,
+    make_xoa,
+    mux_table,
+    nand_table,
+    standard_cells,
+)
+from .library import (
+    Library,
+    LibraryError,
+    Match,
+    generic_library,
+    granular_plb_library,
+    lut_plb_library,
+)
+
+__all__ = [
+    "CellType",
+    "DFF_CLK_TO_Q_NS",
+    "DFF_SETUP_NS",
+    "TAU_NS",
+    "make_buf",
+    "make_dff",
+    "make_inv",
+    "make_lut3",
+    "make_mux2",
+    "make_nd2wi",
+    "make_nd3wi",
+    "make_xoa",
+    "mux_table",
+    "nand_table",
+    "standard_cells",
+    "Library",
+    "LibraryError",
+    "Match",
+    "generic_library",
+    "granular_plb_library",
+    "lut_plb_library",
+]
+
+from .characterize import (
+    CharacterizedCell,
+    DelayTable,
+    TimingLibrary,
+    characterize_cell,
+    characterize_library,
+)
+
+__all__ += [
+    "CharacterizedCell",
+    "DelayTable",
+    "TimingLibrary",
+    "characterize_cell",
+    "characterize_library",
+]

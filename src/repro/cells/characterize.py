@@ -1,0 +1,104 @@
+"""Synthetic cell characterization (the CellRater stand-in).
+
+The paper generates its timing library by characterizing each fixed-size
+component cell with Silicon Metrics CellRater.  We reproduce the *product*
+of that step: a lookup-table timing library (NLDM-style delay-vs-load
+tables) derived from the logical-effort parameters on each
+:class:`~repro.cells.celltypes.CellType`, with a mild super-linear term at
+high load to mimic slew degradation.  STA interpolates these tables rather
+than calling the analytic model directly, matching how a real flow consumes
+a characterized library.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .celltypes import CellType, TAU_NS
+from .library import Library
+
+#: Load points (in unit-inverter input loads) at which cells are sampled.
+DEFAULT_LOAD_POINTS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Coefficient of the slew-degradation term added beyond the linear model.
+SLEW_PENALTY = 0.004
+
+
+@dataclass(frozen=True)
+class DelayTable:
+    """Delay-vs-load lookup table for one cell (ns)."""
+
+    cell_name: str
+    loads: Tuple[float, ...]
+    delays: Tuple[float, ...]
+
+    def delay(self, load: float) -> float:
+        """Piecewise-linear interpolation with end-slope extrapolation."""
+        loads, delays = self.loads, self.delays
+        if load <= loads[0]:
+            lo, hi = 0, 1
+        elif load >= loads[-1]:
+            lo, hi = len(loads) - 2, len(loads) - 1
+        else:
+            hi = bisect_left(loads, load)
+            lo = hi - 1
+        span = loads[hi] - loads[lo]
+        frac = (load - loads[lo]) / span
+        return delays[lo] + frac * (delays[hi] - delays[lo])
+
+
+@dataclass(frozen=True)
+class CharacterizedCell:
+    """Characterization results for one cell."""
+
+    cell: CellType
+    table: DelayTable
+    input_caps: Dict[str, float]
+
+    def delay(self, load: float) -> float:
+        return self.table.delay(load)
+
+
+class TimingLibrary:
+    """A characterized component library consumed by STA."""
+
+    def __init__(self, library: Library, cells: Dict[str, CharacterizedCell]):
+        self.library = library
+        self._cells = cells
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def cell(self, name: str) -> CharacterizedCell:
+        return self._cells[name]
+
+    def delay(self, cell_name: str, load: float) -> float:
+        return self._cells[cell_name].delay(load)
+
+    def pin_cap(self, cell_name: str, pin: str) -> float:
+        return self._cells[cell_name].input_caps[pin]
+
+
+def characterize_cell(
+    cell: CellType, load_points: Tuple[float, ...] = DEFAULT_LOAD_POINTS
+) -> CharacterizedCell:
+    """Sample one cell's delay over the load sweep."""
+    cin = max(cell.input_caps.values()) if cell.input_caps else 1.0
+    delays = []
+    for load in load_points:
+        h = load / cin
+        linear = TAU_NS * (cell.parasitic + cell.logical_effort * h)
+        slew = TAU_NS * SLEW_PENALTY * h * h
+        delays.append(linear + slew)
+    table = DelayTable(cell_name=cell.name, loads=load_points, delays=tuple(delays))
+    return CharacterizedCell(cell=cell, table=table, input_caps=dict(cell.input_caps))
+
+
+def characterize_library(
+    library: Library, load_points: Tuple[float, ...] = DEFAULT_LOAD_POINTS
+) -> TimingLibrary:
+    """Characterize every cell in ``library``."""
+    cells = {cell.name: characterize_cell(cell, load_points) for cell in library}
+    return TimingLibrary(library, cells)

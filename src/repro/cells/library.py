@@ -1,0 +1,150 @@
+"""Restricted component-cell libraries for each PLB architecture.
+
+The design flow (paper Figure 6) synthesizes every design onto the
+restricted library of its target PLB's component cells.  Two libraries are
+published by the paper:
+
+* ``lut_plb_library`` — components of the LUT-based PLB of paper Figure 1:
+  LUT3, ND3WI, plus buffers/inverters and the DFF.
+* ``granular_plb_library`` — components of the granular PLB of paper
+  Figure 4: MUX2, XOA, ND3WI, plus buffers/inverters and the DFF.
+
+A :class:`Library` also resolves "which cell implements this function" —
+the primitive operation behind technology mapping and logic compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..logic.truthtable import TruthTable
+from .celltypes import (
+    CellType,
+    make_buf,
+    make_dff,
+    make_inv,
+    make_lut3,
+    make_mux2,
+    make_nd2wi,
+    make_nd3wi,
+    make_xoa,
+    standard_cells,
+)
+
+
+class LibraryError(KeyError):
+    """Raised when a cell lookup fails."""
+
+
+@dataclass(frozen=True)
+class Match:
+    """A successful cell match for a target function.
+
+    ``pin_map[i]`` gives, for cell input pin ``i`` (in pin order), the index
+    of the target function's input that drives it, and ``pin_neg[i]`` is
+    unused here (polarity lives inside ``config``).  ``config`` is the exact
+    truth table (over cell pins) the cell must be configured to.
+    """
+
+    cell: CellType
+    config: TruthTable
+    pin_map: Tuple[int, ...]
+
+
+class Library:
+    """An ordered collection of component cells."""
+
+    def __init__(self, name: str, cells: Iterable[CellType]):
+        self.name = name
+        self._cells: Dict[str, CellType] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise LibraryError(f"duplicate cell {cell.name!r}")
+            self._cells[cell.name] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(f"no cell {name!r} in library {self.name!r}") from None
+
+    def cell_names(self) -> Tuple[str, ...]:
+        return tuple(self._cells)
+
+    def combinational(self) -> Tuple[CellType, ...]:
+        return tuple(c for c in self._cells.values() if not c.is_sequential)
+
+    def sequential(self) -> Tuple[CellType, ...]:
+        return tuple(c for c in self._cells.values() if c.is_sequential)
+
+    # ------------------------------------------------------------------
+    # Function matching
+    # ------------------------------------------------------------------
+    def matches(self, table: TruthTable) -> List[Match]:
+        """All single-cell implementations of ``table``, best-area first.
+
+        The target's inputs may be permuted onto cell pins; polarity freedom
+        comes from the cell's own feasible set (the "WI" configurations) —
+        no hidden inverters are assumed.  Unused cell pins are not allowed:
+        the target arity must equal the cell arity (callers shrink functions
+        to their support first).
+        """
+        found: List[Match] = []
+        for cell in self.combinational():
+            if cell.n_inputs != table.n_inputs or cell.feasible is None:
+                continue
+            seen_maps = set()
+            for perm in _permutations(table.n_inputs):
+                # config(pins) must satisfy: table(x) == config(x[perm])
+                # i.e. config = table with inputs re-ordered so that cell pin
+                # j receives target input perm[j].
+                config = table.permute(perm)
+                if config in cell.feasible and perm not in seen_maps:
+                    seen_maps.add(perm)
+                    found.append(Match(cell=cell, config=config, pin_map=perm))
+                    break  # one pin assignment per cell is enough
+        found.sort(key=lambda m: (m.cell.area, m.cell.name))
+        return found
+
+    def best_match(self, table: TruthTable) -> Optional[Match]:
+        """Smallest-area single-cell implementation, or ``None``."""
+        found = self.matches(table)
+        return found[0] if found else None
+
+
+def _permutations(n: int) -> Tuple[Tuple[int, ...], ...]:
+    import itertools
+
+    return tuple(itertools.permutations(range(n)))
+
+
+def lut_plb_library() -> Library:
+    """Restricted library for the LUT-based PLB (paper Figure 1)."""
+    return Library(
+        "lut_plb",
+        [make_lut3(), make_nd3wi(), make_nd2wi(), make_inv(), make_buf(), make_dff()],
+    )
+
+
+def granular_plb_library() -> Library:
+    """Restricted library for the granular PLB (paper Figure 4)."""
+    return Library(
+        "granular_plb",
+        [make_mux2(), make_xoa(), make_nd3wi(), make_nd2wi(), make_inv(),
+         make_buf(), make_dff()],
+    )
+
+
+def generic_library() -> Library:
+    """Every component cell; used by design generators before mapping."""
+    return Library("generic", standard_cells().values())

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``
+    Print the Section-2 function analysis (Figure 2/3, config coverage).
+``flow DESIGN``
+    Run one benchmark design through both flows on one architecture.
+``tables``
+    Regenerate the paper's Tables 1 and 2 (plus the compaction summary).
+``explore``
+    Rank candidate PLB architectures with the granularity explorer.
+``vias``
+    Print the via-programmability cost comparison of both PLBs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_analyze(_args: argparse.Namespace) -> int:
+    from .core.configs import coverage_summary
+    from .flow.experiments import run_figure2
+
+    print(run_figure2().format())
+    print("\nGranular configuration coverage (Section 2.3):")
+    for name, count in coverage_summary().items():
+        print(f"  {name:8s} {count:3d} / 256")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .flow.experiments import build_design
+    from .flow.flow import run_design
+    from .flow.options import FlowOptions
+
+    options = FlowOptions(
+        arch=args.arch, seed=args.seed, place_effort=args.effort
+    )
+    netlist = build_design(args.design, scale=args.scale)
+    print(f"Running {args.design} (scale {args.scale}) on the "
+          f"{args.arch} architecture...")
+    run = run_design(netlist, args.arch, options)
+    st = run.synthesis.stats
+    print(f"  mapped: {st.n_instances} instances "
+          f"({st.nand2_equivalents:.0f} NAND2-eq), "
+          f"compaction {run.synthesis.compaction.reduction:.1%}")
+    print(f"  flow a: die {run.flow_a.die_area:8.0f} um^2, "
+          f"avg slack {run.flow_a.average_slack:7.3f} ns")
+    print(f"  flow b: die {run.flow_b.die_area:8.0f} um^2, "
+          f"avg slack {run.flow_b.average_slack:7.3f} ns, "
+          f"{run.flow_b.plbs_used} PLBs "
+          f"({run.flow_b.array_side} per side)")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .flow.experiments import (
+        run_compaction_summary,
+        run_matrix,
+        run_table1,
+        run_table2,
+    )
+
+    matrix = run_matrix(scale=args.scale)
+    print(run_table1(matrix).format())
+    print()
+    print(run_table2(matrix).format())
+    print()
+    print(run_compaction_summary(matrix).format())
+    return 0
+
+
+def _cmd_explore(_args: argparse.Namespace) -> int:
+    from .core.explorer import GranularityExplorer, paper_candidates
+
+    explorer = GranularityExplorer()
+    print(f"{'candidate':16s} {'area':>7s} {'no-LUT':>7s} {'FA':>5s} {'score':>8s}")
+    for candidate, metrics, score in explorer.rank(paper_candidates()):
+        print(
+            f"{metrics.name:16s} {metrics.total_area:7.1f} "
+            f"{metrics.lut_free_coverage:7d} "
+            f"{str(metrics.full_adder_in_one_plb):>5s} {score:8.2f}"
+        )
+    return 0
+
+
+def _cmd_vias(_args: argparse.Namespace) -> int:
+    from .core.vias import granularity_cost_comparison
+
+    print("Via-programmability cost per PLB (paper Section 1's argument):")
+    for name, stats in granularity_cost_comparison().items():
+        print(f"  {name}:")
+        print(f"    potential via sites:   {stats['potential_sites']:8.0f}")
+        print(f"    via-site silicon area: {stats['via_site_area_um2']:8.1f} um^2 "
+              f"({stats['site_area_fraction']:.1%} of the PLB)")
+        print(f"    SRAM-bit equivalent:   {stats['sram_equivalent_area_um2']:8.1f} um^2 "
+              f"({stats['sram_area_fraction']:.1f}x the PLB itself)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploring Logic Block Granularity "
+                    "for Regular Fabrics' (DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("analyze", help="Section-2 function analysis")
+
+    flow = sub.add_parser("flow", help="run one design through the flow")
+    flow.add_argument("design", choices=["alu", "fpu", "netswitch", "firewire"])
+    flow.add_argument("--arch", choices=["lut", "granular"], default="granular")
+    flow.add_argument("--scale", type=float, default=0.5)
+    flow.add_argument("--seed", type=int, default=0)
+    flow.add_argument("--effort", type=float, default=0.2,
+                      help="placement effort (1.0 = full anneal)")
+
+    tables = sub.add_parser("tables", help="regenerate Tables 1 and 2")
+    tables.add_argument("--scale", type=float, default=0.5)
+
+    sub.add_parser("explore", help="rank candidate PLB architectures")
+    sub.add_parser("vias", help="via-programmability cost comparison")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "flow": _cmd_flow,
+        "tables": _cmd_tables,
+        "explore": _cmd_explore,
+        "vias": _cmd_vias,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

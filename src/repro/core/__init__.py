@@ -1,0 +1,149 @@
+"""The paper's primary contribution: PLB granularity analysis.
+
+Section 2 of the paper, as executable code: the 3-input function analysis,
+the S3 structure and its five infeasible categories (Figure 2), the
+modified S3 cell (Figure 3), the two PLB architectures (Figures 1 and 4),
+the granular logic configurations (Section 2.3), the full-adder packing
+argument (Section 2.2), the 3-LUT-to-three-MUX split (Figure 5), and a
+granularity explorer for arbitrary candidate PLBs.
+"""
+
+from .functions3 import (
+    SELECT_INDEX,
+    cofactors_about_select,
+    from_cofactors,
+    is_and_type,
+    is_xor_type,
+    mux2_implementable_2in,
+    mux2_implementable_3in,
+    nd2wi_implementable_2in,
+    nd3wi_implementable_3in,
+)
+from .s3 import (
+    ModifiedS3Config,
+    S3Category,
+    category_counts,
+    classify_infeasible,
+    find_modified_s3_config,
+    infeasible_by_category,
+    modified_s3_implementable,
+    s3_feasible,
+    s3_feasible_set,
+    s3_infeasible_set,
+)
+from .configs import (
+    LogicConfig,
+    best_config,
+    coverage_summary,
+    granular_configs,
+    lut_arch_configs,
+    mx_functions,
+    nd3_functions,
+    ndmx_functions,
+    xoamx_functions,
+    xoandmx_functions,
+)
+from .plb import (
+    BUFFER_SLOTS,
+    COMB_AREA_RATIO,
+    PLB_AREA_RATIO,
+    PLBArchitecture,
+    custom_plb,
+    granular_plb,
+    interconnect_overhead,
+    lut_plb,
+)
+from .adder import (
+    AdderFunctions,
+    carry_is_majority,
+    carry_nd3wi_feasible,
+    granular_configs_for_adder,
+    granular_full_adder,
+    lut_full_adder,
+)
+from .lut_decompose import (
+    Leaf,
+    LUTDecomposition,
+    decompose_lut3,
+    lut3_as_mux_netlist,
+)
+from .explorer import (
+    ArchitectureMetrics,
+    CandidatePLB,
+    GranularityExplorer,
+    paper_architectures,
+    paper_candidates,
+)
+
+__all__ = [
+    "SELECT_INDEX",
+    "cofactors_about_select",
+    "from_cofactors",
+    "is_and_type",
+    "is_xor_type",
+    "mux2_implementable_2in",
+    "mux2_implementable_3in",
+    "nd2wi_implementable_2in",
+    "nd3wi_implementable_3in",
+    "ModifiedS3Config",
+    "S3Category",
+    "category_counts",
+    "classify_infeasible",
+    "find_modified_s3_config",
+    "infeasible_by_category",
+    "modified_s3_implementable",
+    "s3_feasible",
+    "s3_feasible_set",
+    "s3_infeasible_set",
+    "LogicConfig",
+    "best_config",
+    "coverage_summary",
+    "granular_configs",
+    "lut_arch_configs",
+    "mx_functions",
+    "nd3_functions",
+    "ndmx_functions",
+    "xoamx_functions",
+    "xoandmx_functions",
+    "BUFFER_SLOTS",
+    "COMB_AREA_RATIO",
+    "PLB_AREA_RATIO",
+    "PLBArchitecture",
+    "custom_plb",
+    "granular_plb",
+    "interconnect_overhead",
+    "lut_plb",
+    "AdderFunctions",
+    "carry_is_majority",
+    "carry_nd3wi_feasible",
+    "granular_configs_for_adder",
+    "granular_full_adder",
+    "lut_full_adder",
+    "Leaf",
+    "LUTDecomposition",
+    "decompose_lut3",
+    "lut3_as_mux_netlist",
+    "ArchitectureMetrics",
+    "CandidatePLB",
+    "GranularityExplorer",
+    "paper_architectures",
+    "paper_candidates",
+]
+
+from .vias import (
+    DesignViaStats,
+    PLBViaBudget,
+    configured_vias,
+    design_via_stats,
+    granularity_cost_comparison,
+    plb_via_budget,
+)
+
+__all__ += [
+    "DesignViaStats",
+    "PLBViaBudget",
+    "configured_vias",
+    "design_via_stats",
+    "granularity_cost_comparison",
+    "plb_via_budget",
+]

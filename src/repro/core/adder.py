@@ -1,0 +1,131 @@
+"""Full-adder implementation on each PLB architecture (paper Section 2.2).
+
+The granular PLB packs a full adder into a **single PLB**:
+
+* the XOA mux computes the propagate ``P = A xor B``;
+* a second mux computes ``Sum = P xor Cin``;
+* the third mux computes ``Cout = P ? Cin : G`` with the generate
+  ``G = A and B`` coming from the ND3WI gate.
+
+The LUT-based PLB cannot: Sum is a 3-input XOR (LUT-only there) and Cout is
+the majority function, which is not ND3WI-implementable, so a full adder
+needs the LUTs of **two** PLBs.  Both constructions below are real netlists
+checked for correctness by simulation in the tests, and the PLB counts are
+confirmed end-to-end by the packer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..cells.celltypes import make_inv, make_lut3, make_mux2, make_nd3wi, make_xoa
+from ..logic.truthtable import TruthTable
+from ..netlist.core import Netlist
+from .configs import granular_configs
+from .functions3 import nd3wi_implementable_3in
+
+
+@dataclass(frozen=True)
+class AdderFunctions:
+    """The full adder's constituent functions over inputs (A, B, Cin)."""
+
+    sum_table: TruthTable
+    carry_table: TruthTable
+    propagate: TruthTable
+    generate: TruthTable
+
+    @staticmethod
+    def build() -> "AdderFunctions":
+        a, b, cin = TruthTable.inputs(3)
+        return AdderFunctions(
+            sum_table=a ^ b ^ cin,
+            carry_table=(a & b) | (cin & (a ^ b)),
+            propagate=a ^ b,
+            generate=a & b,
+        )
+
+
+def carry_is_majority() -> bool:
+    """The carry equals the majority function (sanity anchor)."""
+    a, b, cin = TruthTable.inputs(3)
+    funcs = AdderFunctions.build()
+    return funcs.carry_table == ((a & b) | (b & cin) | (a & cin))
+
+
+def carry_nd3wi_feasible() -> bool:
+    """Whether a single ND3WI can implement the carry (it cannot)."""
+    return AdderFunctions.build().carry_table in nd3wi_implementable_3in()
+
+
+def granular_full_adder() -> Netlist:
+    """Full adder as granular-PLB component cells: 3 muxes + 1 ND3WI.
+
+    Mirrors the paper's construction exactly; the four combinational cells
+    fit the granular PLB's 2xMUX2 + 1xXOA + 1xND3WI slots, so the packer
+    places the whole adder in one PLB.
+    """
+    mux, xoa, nd3, inv = make_mux2(), make_xoa(), make_nd3wi(), make_inv()
+    s, d0, d1 = TruthTable.inputs(3)
+    mux_fn = TruthTable.mux(s, d0, d1)
+
+    net = Netlist("full_adder_granular")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    cin = net.add_input("cin")
+
+    # ~B for the XOA's XOR configuration (a polarity buffer in the PLB).
+    b_n = net.add_instance(inv, {"A": b}, config=~TruthTable.input_var(1, 0)).output_net
+    # P = A ? ~B : B  =  A xor B   (the XOA used as an XOR)
+    p = net.add_instance(xoa, {"S": a, "A": b, "B": b_n}, config=mux_fn).output_net
+    # ~Cin for the sum mux.
+    cin_n = net.add_instance(
+        inv, {"A": cin}, config=~TruthTable.input_var(1, 0)
+    ).output_net
+    # Sum = P ? ~Cin : Cin  =  P xor Cin
+    total = net.add_instance(
+        mux, {"S": p, "A": cin, "B": cin_n}, config=mux_fn
+    ).output_net
+    # G = A and B  (the ND3WI with a tied pin, configured as AND)
+    and3 = TruthTable.input_var(3, 0) & TruthTable.input_var(3, 1) & TruthTable.input_var(3, 2)
+    g = net.add_instance(nd3, {"A": a, "B": a, "C": b}, config=and3).output_net
+    # Cout = P ? Cin : G
+    cout = net.add_instance(mux, {"S": p, "A": g, "B": cin}, config=mux_fn).output_net
+
+    net.add_output(total)
+    net.add_output(cout)
+    return net
+
+
+def lut_full_adder() -> Netlist:
+    """Full adder on the LUT architecture: two 3-LUTs (hence two PLBs)."""
+    lut = make_lut3()
+    funcs = AdderFunctions.build()
+
+    net = Netlist("full_adder_lut")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    cin = net.add_input("cin")
+
+    total = net.add_instance(
+        lut, {"A": a, "B": b, "C": cin}, config=funcs.sum_table
+    ).output_net
+    cout = net.add_instance(
+        lut, {"A": a, "B": b, "C": cin}, config=funcs.carry_table
+    ).output_net
+
+    net.add_output(total)
+    net.add_output(cout)
+    return net
+
+
+def granular_configs_for_adder() -> Tuple[str, str]:
+    """Which granular configs realize the sum and carry (paper's XOAMX)."""
+    funcs = AdderFunctions.build()
+    sum_config = carry_config = ""
+    for config in granular_configs():
+        if not sum_config and funcs.sum_table in config.functions:
+            sum_config = config.name
+        if not carry_config and funcs.carry_table in config.functions:
+            carry_config = config.name
+    return sum_config, carry_config

@@ -1,0 +1,191 @@
+"""Analysis of the 256 3-input Boolean functions (paper Section 2.1).
+
+Everything here is computed by exhaustive enumeration — none of the
+paper's published counts (14 ND2WI-implementable 2-input functions, 196
+S3-feasible 3-input functions, ...) is hard-coded.  The enumerated sets are
+the foundation for the S3 analysis (:mod:`repro.core.s3`), the granular
+logic configurations (:mod:`repro.core.configs`) and supernode matching in
+compaction (:mod:`repro.synth.compaction`).
+
+Conventions
+-----------
+3-input tables use input order ``(a, b, s)`` = indices ``(0, 1, 2)``; ``s``
+(index 2) is the Shannon select variable of the paper's S3 structure.
+"Implementable by X" always assumes the VPGA fabric context: every signal
+is available in both polarities (the PLB's programmable input buffers) and
+constants can be wired by vias.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Tuple
+
+from ..logic.truthtable import TruthTable
+
+#: Index of the Shannon select input in 3-input tables.
+SELECT_INDEX = 2
+
+
+# ----------------------------------------------------------------------
+# 2-input building blocks
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def xor2_tables() -> FrozenSet[TruthTable]:
+    """The 2-input XOR and XNOR tables."""
+    a, b = TruthTable.inputs(2)
+    return frozenset({a ^ b, ~(a ^ b)})
+
+
+@lru_cache(maxsize=None)
+def nd2wi_implementable_2in() -> FrozenSet[TruthTable]:
+    """2-input functions one ND2WI gate can produce in the fabric.
+
+    Enumerates ``(x NAND y)`` with free input/output polarity where each
+    gate input is wired (by via) to one of ``a``, ``b``, or a constant —
+    tying both inputs to the same signal or to constants yields the
+    degenerate literal/constant functions.  The paper's count: 14 of the 16
+    2-input functions; the two missing ones are XOR and XNOR.
+    """
+    a, b = TruthTable.inputs(2)
+    zero, one = TruthTable.constant(2, False), TruthTable.constant(2, True)
+    sources = (a, ~a, b, ~b, zero, one)
+    found = set()
+    for x in sources:
+        for y in sources:
+            nand = ~(x & y)
+            found.add(nand)
+            found.add(~nand)
+    return frozenset(found)
+
+
+@lru_cache(maxsize=None)
+def mux2_implementable_2in() -> FrozenSet[TruthTable]:
+    """2-input functions one 2:1 MUX can produce in the fabric.
+
+    Select and data pins draw from literals of both polarities and
+    constants.  The paper's observation: "a 2:1 MUX can implement all
+    2-input functions, including XOR and XNOR" — all 16.
+    """
+    a, b = TruthTable.inputs(2)
+    zero, one = TruthTable.constant(2, False), TruthTable.constant(2, True)
+    sources = (a, ~a, b, ~b, zero, one)
+    found = set()
+    for s in sources:
+        for d0 in sources:
+            for d1 in sources:
+                found.add(TruthTable.mux(s, d0, d1))
+    return frozenset(found)
+
+
+# ----------------------------------------------------------------------
+# 3-input source sets (over inputs a, b, c)
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def literal_sources_3in() -> Tuple[TruthTable, ...]:
+    """Literals of both polarities plus constants, as 3-input tables."""
+    a, b, c = TruthTable.inputs(3)
+    return (
+        a, ~a, b, ~b, c, ~c,
+        TruthTable.constant(3, False), TruthTable.constant(3, True),
+    )
+
+
+@lru_cache(maxsize=None)
+def nd2wi_sources_3in() -> FrozenSet[TruthTable]:
+    """Every 3-input table an ND2WI can produce over inputs drawn from
+    ``{a, b, c}`` (with polarities, constants, and ties)."""
+    sources = literal_sources_3in()
+    found = set()
+    for x in sources:
+        for y in sources:
+            nand = ~(x & y)
+            found.add(nand)
+            found.add(~nand)
+    return frozenset(found)
+
+
+@lru_cache(maxsize=None)
+def nd3wi_implementable_3in() -> FrozenSet[TruthTable]:
+    """3-input tables one ND3WI gate can produce (with ties/constants).
+
+    The non-degenerate core is the 16 polarity variants of NAND3 — the
+    "simple logic functions like two and three input AND, NAND, OR, NOR"
+    that dominate LUT-mapped designs ([6], [7]).
+    """
+    sources = literal_sources_3in()
+    found = set()
+    for x in sources:
+        for y in sources:
+            for z in sources:
+                nand = ~(x & y & z)
+                found.add(nand)
+                found.add(~nand)
+    return frozenset(found)
+
+
+@lru_cache(maxsize=None)
+def mux2_implementable_3in() -> FrozenSet[TruthTable]:
+    """3-input tables one 2:1 MUX can produce (the paper's MX config)."""
+    sources = literal_sources_3in()
+    found = set()
+    for s in sources:
+        for d0 in sources:
+            for d1 in sources:
+                found.add(TruthTable.mux(s, d0, d1))
+    return frozenset(found)
+
+
+# ----------------------------------------------------------------------
+# Cofactor helpers
+# ----------------------------------------------------------------------
+
+def cofactors_about_select(table: TruthTable) -> Tuple[TruthTable, TruthTable]:
+    """Shannon cofactors ``(g, h)`` of a 3-input table about the select.
+
+    ``f(a, b, s) = s'*g(a, b) + s*h(a, b)`` — paper Section 2.1.
+    """
+    if table.n_inputs != 3:
+        raise ValueError("cofactors_about_select expects a 3-input table")
+    return table.cofactor(SELECT_INDEX, 0), table.cofactor(SELECT_INDEX, 1)
+
+
+def from_cofactors(g: TruthTable, h: TruthTable) -> TruthTable:
+    """Rebuild ``f(a, b, s)`` from its cofactors about the select."""
+    if g.n_inputs != 2 or h.n_inputs != 2:
+        raise ValueError("cofactors must be 2-input tables")
+    s = TruthTable.input_var(3, SELECT_INDEX)
+    return TruthTable.mux(s, g.extend(3), h.extend(3))
+
+
+def is_xor_type(table: TruthTable) -> bool:
+    """True for the 2-input XOR or XNOR table."""
+    return table in xor2_tables()
+
+
+# ----------------------------------------------------------------------
+# Simple-function statistics (the motivation in [6], [7])
+# ----------------------------------------------------------------------
+
+def is_and_type(table: TruthTable) -> bool:
+    """True when ``table`` is an AND/NAND/OR/NOR-style product of literals.
+
+    These are the functions the paper's prior work found dominating
+    LUT-mapped designs, and exactly what the WI gates implement natively.
+    """
+    shrunk, _ = table.shrink_to_support()
+    if shrunk.n_inputs == 0:
+        return False
+    n = shrunk.n_inputs
+    for flips in range(1 << n):
+        candidate = shrunk
+        for i in range(n):
+            if (flips >> i) & 1:
+                candidate = candidate.flip_input(i)
+        if candidate.minterm_count() == 1 and candidate(*([1] * n)) == 1:
+            return True
+        if (~candidate).minterm_count() == 1 and (~candidate)(*([1] * n)) == 1:
+            return True
+    return False

@@ -1,0 +1,367 @@
+"""PLB architecture models (paper Figures 1 and 4).
+
+A :class:`PLBArchitecture` describes one patternable logic block: its
+component-cell slots, which netlist cell instances each slot can host, the
+logic configurations it supports, and its layout area.
+
+Area calibration
+----------------
+The paper publishes two PLB-level ratios rather than absolute areas:
+
+* the granular PLB is about **20% larger** than the LUT-based PLB;
+* the granular PLB has **26.6% more combinational logic area**.
+
+Component-cell areas alone (LUT3 + 2xND3WI vs 2xMUX2 + XOA + ND3WI) do not
+produce those ratios — the remainder is local-interconnect and programmable
+-buffer overhead, which the granular PLB has much more of (both-polarity
+input buffers and many more potential via sites; Section 2 notes the cost
+of higher granularity is "an increase in the number of configuration vias
+and total layout area").  :func:`_solve_overheads` computes the two
+overhead terms from the published ratios, so the model's PLB areas satisfy
+them *exactly*; the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Mapping, Tuple
+
+from ..cells.celltypes import (
+    CellType,
+    make_dff,
+    make_lut3,
+    make_mux2,
+    make_nd3wi,
+    make_xoa,
+)
+from ..cells.library import Library, granular_plb_library, lut_plb_library
+from .configs import LogicConfig, granular_configs, lut_arch_configs
+
+#: Published ratio: granular PLB area / LUT PLB area.
+PLB_AREA_RATIO = 1.20
+#: Published ratio: granular combinational area / LUT combinational area.
+COMB_AREA_RATIO = 1.266
+
+#: Per-PLB programmable buffer/inverter slots (polarity generation plus
+#: output buffering).  Generous but finite — packing tracks them.
+BUFFER_SLOTS = 8
+
+
+@dataclass(frozen=True, eq=False)
+class PLBArchitecture:
+    """One patternable-logic-block architecture.
+
+    Parameters
+    ----------
+    name:
+        ``"lut"`` or ``"granular"`` for the paper's two candidates; the
+        explorer creates ad-hoc variants.
+    slots:
+        Component-slot name -> count per PLB.  Slot names are component
+        cell names, with ``MUX`` grouping the granular PLB's mux slots
+        (two plain MUX2 plus the up-sized XOA).
+    slot_compat:
+        Netlist cell-type name -> tuple of slot names that can host it,
+        in preference order.  E.g. an ``ND2WI`` instance occupies an
+        ``ND3WI`` slot (tied pin), or a mux slot in the granular PLB
+        ("a 2-input Nand function ... can be mapped into a MUX").
+    configs:
+        The architecture's logic configurations, for compaction matching.
+    comb_overhead / seq_overhead:
+        Local-interconnect + buffer area not attributable to a component.
+    library:
+        The restricted component library for synthesis targeting this PLB.
+    """
+
+    name: str
+    slots: Mapping[str, int]
+    slot_compat: Mapping[str, Tuple[str, ...]]
+    configs: Tuple[LogicConfig, ...]
+    comb_overhead: float
+    seq_overhead: float
+    library: Library = field(compare=False, hash=False)
+    slot_cells: Mapping[str, CellType] = field(compare=False, hash=False)
+
+    # ------------------------------------------------------------------
+    # Areas
+    # ------------------------------------------------------------------
+    @property
+    def combinational_area(self) -> float:
+        """Combinational component area + interconnect overhead (um^2)."""
+        area = 0.0
+        for slot, count in self.slots.items():
+            cell = self.slot_cells[slot]
+            if not cell.is_sequential:
+                area += count * cell.area
+        return area + self.comb_overhead
+
+    @property
+    def sequential_area(self) -> float:
+        area = 0.0
+        for slot, count in self.slots.items():
+            cell = self.slot_cells[slot]
+            if cell.is_sequential:
+                area += count * cell.area
+        return area + self.seq_overhead
+
+    @property
+    def area(self) -> float:
+        """Total PLB tile area (um^2)."""
+        return self.combinational_area + self.sequential_area
+
+    @property
+    def tile_side(self) -> float:
+        """Side of the square PLB tile (um)."""
+        return self.area ** 0.5
+
+    # ------------------------------------------------------------------
+    # Resource queries
+    # ------------------------------------------------------------------
+    def hosting_slots(self, cell_name: str) -> Tuple[str, ...]:
+        """Slots that can host an instance of ``cell_name`` (may be empty)."""
+        return self.slot_compat.get(cell_name, ())
+
+    def capacity(self) -> Dict[str, int]:
+        """Copy of the per-PLB slot capacities."""
+        return dict(self.slots)
+
+    def dff_per_plb(self) -> int:
+        return self.slots.get("DFF", 0)
+
+    def comb_slot_count(self) -> int:
+        return sum(
+            count for slot, count in self.slots.items()
+            if not self.slot_cells[slot].is_sequential and slot != "POLBUF"
+        )
+
+
+def _component_cells() -> Dict[str, CellType]:
+    """Slot name -> representative component cell."""
+    mux = make_mux2()
+    return {
+        "LUT3": make_lut3(),
+        "ND3WI": make_nd3wi(),
+        "MUX2": mux,
+        "MUX": mux,          # generic mux slot (area of the plain MUX2)
+        "XOA": make_xoa(),
+        "DFF": make_dff(),
+    }
+
+
+@lru_cache(maxsize=None)
+def _solve_overheads() -> Tuple[float, float]:
+    """Per-PLB interconnect overheads (lut_comb, granular_comb).
+
+    Solves::
+
+        comb_G = COMB_AREA_RATIO * comb_L
+        comb_G + seq = PLB_AREA_RATIO * (comb_L + seq)
+
+    where ``seq`` is the shared DFF area, ``comb_L = raw_L + over_L`` and
+    ``comb_G = raw_G + over_G``.  The LUT-side overhead is one free
+    parameter; it is pinned at 10% of the LUT PLB's raw component area
+    (modest local interconnect), and the equations give the rest.
+    """
+    lut3, nd3, mux, xoa, dff = (
+        make_lut3(), make_nd3wi(), make_mux2(), make_xoa(), make_dff(),
+    )
+    raw_lut = lut3.area + 2 * nd3.area
+    raw_gran = 2 * mux.area + xoa.area + nd3.area
+    seq = dff.area
+
+    # comb_L such that the two target ratios are simultaneously exact:
+    # COMB_AREA_RATIO*c + seq = PLB_AREA_RATIO*(c + seq)
+    comb_l = seq * (PLB_AREA_RATIO - 1.0) / (COMB_AREA_RATIO - PLB_AREA_RATIO)
+    comb_g = COMB_AREA_RATIO * comb_l
+    over_l = comb_l - raw_lut
+    over_g = comb_g - raw_gran
+    if over_l < 0 or over_g < 0:
+        raise RuntimeError(
+            "PLB area calibration failed: raw component areas exceed the "
+            "calibrated combinational budget"
+        )
+    return over_l, over_g
+
+
+@lru_cache(maxsize=None)
+def lut_plb() -> PLBArchitecture:
+    """The LUT-based heterogeneous PLB of paper Figure 1.
+
+    One 3-LUT, two ND3WI gates, one DFF, plus programmable buffers.
+    """
+    over_l, _ = _solve_overheads()
+    return PLBArchitecture(
+        name="lut",
+        slots={"LUT3": 1, "ND3WI": 2, "DFF": 1, "POLBUF": BUFFER_SLOTS},
+        slot_compat={
+            "LUT3": ("LUT3",),
+            "ND3WI": ("ND3WI",),
+            "ND2WI": ("ND3WI",),
+            "INV": ("POLBUF",),
+            "BUF": ("POLBUF",),
+            "DFF": ("DFF",),
+        },
+        configs=lut_arch_configs(),
+        comb_overhead=over_l,
+        seq_overhead=0.0,
+        library=lut_plb_library(),
+        slot_cells={**_component_cells(), "POLBUF": _polbuf_cell()},
+    )
+
+
+@lru_cache(maxsize=None)
+def granular_plb() -> PLBArchitecture:
+    """The granular heterogeneous PLB of paper Figure 4.
+
+    Three 2:1 MUXes (one up-sized XOA), one ND3WI, one DFF, programmable
+    buffers; all primary inputs available in both polarities.  A plain
+    MUX2 instance may also occupy the XOA slot, and an ND2WI instance may
+    occupy any mux slot ("a 2-input Nand function on a non-critical path
+    can be mapped into a MUX ... allowing an extra function to be packed"),
+    which is the packing flexibility Section 2.3 highlights.
+    """
+    _, over_g = _solve_overheads()
+    return PLBArchitecture(
+        name="granular",
+        slots={"MUX2": 2, "XOA": 1, "ND3WI": 1, "DFF": 1, "POLBUF": BUFFER_SLOTS},
+        slot_compat={
+            "MUX2": ("MUX2", "XOA"),
+            "XOA": ("XOA",),
+            "ND3WI": ("ND3WI",),
+            "ND2WI": ("ND3WI", "XOA", "MUX2"),
+            "INV": ("POLBUF",),
+            "BUF": ("POLBUF",),
+            "DFF": ("DFF",),
+        },
+        configs=granular_configs(),
+        comb_overhead=over_g,
+        seq_overhead=0.0,
+        library=granular_plb_library(),
+        slot_cells={**_component_cells(), "POLBUF": _polbuf_cell()},
+    )
+
+
+#: Interconnect-overhead model fitted to the paper's two published PLB
+#: ratios: overhead = ALPHA * (comb component count) ** GAMMA, capturing
+#: the superlinear cost of configurability ("greater configurability only
+#: results in an increase in potential via sites").
+OVERHEAD_ALPHA = 0.0977
+OVERHEAD_GAMMA = 4.11
+
+
+def interconnect_overhead(n_comb_components: int) -> float:
+    """Fitted local-interconnect overhead for a custom PLB (um^2)."""
+    return OVERHEAD_ALPHA * max(0, n_comb_components) ** OVERHEAD_GAMMA
+
+
+def custom_plb(name: str, components: Mapping[str, int]) -> PLBArchitecture:
+    """Build a runnable architecture from an arbitrary component mix.
+
+    ``components`` maps component names (``LUT3``, ``ND3WI``, ``MUX2``,
+    ``XOA``, ``DFF``) to per-PLB counts.  The returned architecture has a
+    full restricted library (the listed components plus ND2WI, INV, BUF
+    and a DFF slot if requested), a generated slot-compatibility table,
+    matching logic configurations, and interconnect overhead from the
+    model fitted to the paper's two published PLB ratios — so the whole
+    Figure-6 flow runs on it.  This realizes the paper's proposed
+    future work: application-domain-specific PLB exploration.
+    """
+    from ..cells.celltypes import make_buf, make_inv, make_nd2wi
+    from ..cells.library import Library
+    from .configs import (
+        granular_configs,
+        lut_arch_configs,
+        mx_functions,
+        nd3_functions,
+    )
+
+    allowed = {"LUT3", "ND3WI", "MUX2", "XOA", "DFF"}
+    unknown = set(components) - allowed
+    if unknown:
+        raise ValueError(f"unknown PLB components: {sorted(unknown)}")
+    cells = _component_cells()
+
+    slots: Dict[str, int] = {
+        comp: count for comp, count in components.items() if count > 0
+    }
+    slots["POLBUF"] = BUFFER_SLOTS
+    has_mux = slots.get("MUX2", 0) + slots.get("XOA", 0) > 0
+    mux_slots = tuple(
+        s for s in ("ND3WI", "XOA", "MUX2") if slots.get(s, 0) > 0
+    )
+
+    slot_compat: Dict[str, Tuple[str, ...]] = {
+        "INV": ("POLBUF",),
+        "BUF": ("POLBUF",),
+    }
+    if "LUT3" in slots:
+        slot_compat["LUT3"] = ("LUT3",)
+    if "ND3WI" in slots:
+        slot_compat["ND3WI"] = ("ND3WI",)
+    if "MUX2" in slots or "XOA" in slots:
+        mux_hosting = tuple(s for s in ("MUX2", "XOA") if s in slots)
+        slot_compat["MUX2"] = mux_hosting
+        if "XOA" in slots:
+            slot_compat["XOA"] = ("XOA",)
+    if mux_slots:
+        slot_compat["ND2WI"] = mux_slots
+    elif "LUT3" in slots:
+        slot_compat["ND2WI"] = ("LUT3",)
+    if "DFF" in slots:
+        slot_compat["DFF"] = ("DFF",)
+
+    configs = []
+    if "ND3WI" in slots:
+        configs.extend(c for c in granular_configs() if c.name == "ND3")
+    if has_mux:
+        configs.extend(
+            c for c in granular_configs()
+            if c.name in ("MX", "NDMX", "XOAMX", "XOANDMX")
+            and ("ND3WI" in slots or "ND" not in c.name)
+        )
+    if "LUT3" in slots:
+        configs.extend(c for c in lut_arch_configs() if c.name == "LUT3")
+
+    library_cells = [make_nd2wi(), make_inv(), make_buf()]
+    for comp in ("LUT3", "ND3WI", "MUX2", "XOA", "DFF"):
+        if comp in slots:
+            library_cells.append(cells[comp])
+    if "DFF" not in slots:
+        library_cells.append(cells["DFF"])  # flows need a register cell
+    library = Library(f"custom_{name}", library_cells)
+
+    n_comb = sum(
+        count for comp, count in slots.items()
+        if comp in ("LUT3", "ND3WI", "MUX2", "XOA")
+    )
+    return PLBArchitecture(
+        name=name,
+        slots=slots,
+        slot_compat=slot_compat,
+        configs=tuple(configs),
+        comb_overhead=interconnect_overhead(n_comb),
+        seq_overhead=0.0,
+        library=library,
+        slot_cells={**cells, "POLBUF": _polbuf_cell()},
+    )
+
+
+@lru_cache(maxsize=None)
+def _polbuf_cell() -> CellType:
+    """The programmable polarity/output buffer slot.
+
+    Its area is folded into the PLB overhead terms, so the slot itself is
+    free; it exists so INV/BUF instances have somewhere to live.
+    """
+    from ..logic.truthtable import TruthTable
+
+    return CellType(
+        name="POLBUF",
+        pins=("A",),
+        feasible=frozenset({TruthTable.input_var(1, 0), ~TruthTable.input_var(1, 0)}),
+        area=0.0,
+        input_caps={"A": 1.0},
+        logical_effort=1.0,
+        parasitic=1.5,
+    )

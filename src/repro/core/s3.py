@@ -1,0 +1,199 @@
+"""The S3 structure and its feasibility analysis (paper Section 2.1).
+
+The **S3 gate** is a 2:1 MUX whose data legs are driven by two ND2WI
+gates; by Shannon co-factoring, ``f(a,b,s) = s'*g(a,b) + s*h(a,b)``, it
+implements every 3-input function whose cofactors ``g`` and ``h`` are both
+ND2WI-implementable — 196 of the 256.
+
+The 60 infeasible functions (one or both cofactors XOR/XNOR) fall into the
+**five categories of paper Figure 2**:
+
+1. ``g`` ND2WI-implementable, ``h`` in {XOR, XNOR};
+2. ``g`` in {XOR, XNOR}, ``h`` ND2WI-implementable;
+3. ``g = h = XOR``     — simplifies to a 2-input XOR (one MUX);
+4. ``g = h = XNOR``    — simplifies to a 2-input XNOR (one MUX);
+5. ``g = complement(h)``, both XOR-type — the 3-input XOR/XNOR
+   (two MUXes and an inverter).
+
+The **modified S3 cell** (paper Figure 3) replaces one ND2WI with a 2:1
+MUX carrying a programmable output inverter; this covers all 256
+functions, verified here by exhaustive enumeration of the configuration
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..logic.truthtable import TruthTable, all_functions
+from .functions3 import (
+    SELECT_INDEX,
+    cofactors_about_select,
+    is_xor_type,
+    literal_sources_3in,
+    mux2_implementable_2in,
+    nd2wi_implementable_2in,
+)
+
+
+class S3Category(Enum):
+    """The five categories of S3-infeasible functions (paper Figure 2)."""
+
+    ND2WI_COFACTOR_WITH_XOR = 1      #: g implementable, h is XOR/XNOR
+    XOR_COFACTOR_WITH_ND2WI = 2      #: g is XOR/XNOR, h implementable
+    BOTH_XOR = 3                     #: g = h = XOR  -> 2-input XOR
+    BOTH_XNOR = 4                    #: g = h = XNOR -> 2-input XNOR
+    COMPLEMENTARY_XOR = 5            #: g = h' (both XOR-type) -> 3-input XOR/XNOR
+
+
+def s3_feasible(table: TruthTable) -> bool:
+    """True when the plain S3 gate implements ``table``.
+
+    Feasibility about the paper's fixed select (input index 2): both
+    Shannon cofactors must be ND2WI-implementable.
+    """
+    if table.n_inputs != 3:
+        raise ValueError("S3 analysis is defined on 3-input functions")
+    g, h = cofactors_about_select(table)
+    feasible = nd2wi_implementable_2in()
+    return g in feasible and h in feasible
+
+
+@lru_cache(maxsize=None)
+def s3_feasible_set() -> FrozenSet[TruthTable]:
+    """All S3-feasible 3-input functions.  The paper's count: 196."""
+    return frozenset(t for t in all_functions(3) if s3_feasible(t))
+
+
+@lru_cache(maxsize=None)
+def s3_infeasible_set() -> FrozenSet[TruthTable]:
+    """The complement: 60 functions with an XOR/XNOR cofactor."""
+    return frozenset(t for t in all_functions(3) if not s3_feasible(t))
+
+
+def classify_infeasible(table: TruthTable) -> S3Category:
+    """Assign an S3-infeasible function to its Figure-2 category."""
+    if s3_feasible(table):
+        raise ValueError(f"{table!r} is S3-feasible; no category applies")
+    g, h = cofactors_about_select(table)
+    g_xor, h_xor = is_xor_type(g), is_xor_type(h)
+    if g_xor and h_xor:
+        if g == h:
+            a, b = TruthTable.inputs(2)
+            return S3Category.BOTH_XOR if g == (a ^ b) else S3Category.BOTH_XNOR
+        return S3Category.COMPLEMENTARY_XOR
+    if h_xor:
+        return S3Category.ND2WI_COFACTOR_WITH_XOR
+    return S3Category.XOR_COFACTOR_WITH_ND2WI
+
+
+@lru_cache(maxsize=None)
+def infeasible_by_category() -> Dict[S3Category, FrozenSet[TruthTable]]:
+    """The Figure-2 partition of the 60 infeasible functions."""
+    buckets: Dict[S3Category, set] = {category: set() for category in S3Category}
+    for table in s3_infeasible_set():
+        buckets[classify_infeasible(table)].add(table)
+    return {category: frozenset(members) for category, members in buckets.items()}
+
+
+def category_counts() -> Dict[S3Category, int]:
+    """Function count per Figure-2 category."""
+    return {cat: len(members) for cat, members in infeasible_by_category().items()}
+
+
+# ----------------------------------------------------------------------
+# The modified S3 cell (paper Figure 3)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModifiedS3Config:
+    """One via configuration of the modified S3 cell.
+
+    ``select`` is the (3-input) table wired to the output MUX select —
+    a literal of either polarity.  ``nd_leg`` is the ND2WI output table; it
+    drives data leg 0 unless ``use_inner_for_both`` is set, in which case
+    the inner MUX drives both legs (once through the programmable
+    inverter) — the two-MUX-plus-inverter trick of category 5.
+    ``inner_mux`` is the inner MUX's table and ``invert_inner`` the state
+    of its programmable output inverter.
+    """
+
+    select: TruthTable
+    nd_leg: Optional[TruthTable]
+    inner_mux: TruthTable
+    invert_inner: bool
+    use_inner_for_both: bool = False
+
+    def output(self) -> TruthTable:
+        inner = ~self.inner_mux if self.invert_inner else self.inner_mux
+        if self.use_inner_for_both:
+            d0 = ~inner
+        else:
+            assert self.nd_leg is not None
+            d0 = self.nd_leg
+        return TruthTable.mux(self.select, d0, inner)
+
+
+@lru_cache(maxsize=None)
+def modified_s3_implementable() -> FrozenSet[TruthTable]:
+    """Every 3-input function the modified S3 cell can realize.
+
+    Enumerates the full configuration space: select from any literal of
+    either polarity, ND2WI leg from its implementable set, inner MUX from
+    its implementable set, programmable inner inverter on or off, and the
+    category-5 both-legs-from-inner wiring.  Paper claim: all 256.
+    """
+    literal_selects = [t for t in literal_sources_3in() if not t.is_constant()]
+    nd_options = _lift_2in(nd2wi_implementable_2in())
+    mux_options = _lift_2in(mux2_implementable_2in())
+    found = set()
+    for select in literal_selects:
+        for inner in mux_options:
+            for invert_inner in (False, True):
+                for nd in nd_options:
+                    config = ModifiedS3Config(select, nd, inner, invert_inner)
+                    found.add(config.output())
+                both = ModifiedS3Config(
+                    select, None, inner, invert_inner, use_inner_for_both=True
+                )
+                found.add(both.output())
+    return frozenset(found)
+
+
+def find_modified_s3_config(table: TruthTable) -> ModifiedS3Config:
+    """A concrete modified-S3 configuration realizing ``table``.
+
+    Raises :class:`ValueError` when no configuration exists (never happens
+    for 3-input tables — the cell is universal — but kept as a guard).
+    """
+    if table.n_inputs != 3:
+        raise ValueError("modified S3 is defined on 3-input functions")
+    literal_selects = [t for t in literal_sources_3in() if not t.is_constant()]
+    nd_options = _lift_2in(nd2wi_implementable_2in())
+    mux_options = _lift_2in(mux2_implementable_2in())
+    for select in literal_selects:
+        for inner in mux_options:
+            for invert_inner in (False, True):
+                both = ModifiedS3Config(
+                    select, None, inner, invert_inner, use_inner_for_both=True
+                )
+                if both.output() == table:
+                    return both
+                for nd in nd_options:
+                    config = ModifiedS3Config(select, nd, inner, invert_inner)
+                    if config.output() == table:
+                        return config
+    raise ValueError(f"no modified-S3 configuration for {table!r}")
+
+
+@lru_cache(maxsize=None)
+def _lift_2in(tables: FrozenSet[TruthTable]) -> Tuple[TruthTable, ...]:
+    """Lift 2-input tables over (a, b) to 3-input tables (select unused).
+
+    The S3 data legs see only ``a`` and ``b``; within the cell the select
+    variable cannot feed a data leg, so the lift is the plain extension.
+    """
+    return tuple(sorted((t.extend(3) for t in tables), key=lambda t: t.mask))

@@ -1,0 +1,151 @@
+"""Configuration-via accounting for via-patterned fabrics.
+
+The paper's central economic argument: "greater configurability only
+results in an increase in potential via sites for via-patterned fabrics,
+[so] the cost of higher granularity is significantly lower for the VPGA
+fabric than for SRAM programmed FPGAs."  This module quantifies that
+cost: potential via sites per PLB, configured vias per design, and the
+SRAM-bit equivalent an FPGA would need for the same programmability.
+
+Model
+-----
+* each combinational component needs ``ceil(log2(|feasible set|))``
+  function-selection sites (polarity/config vias) plus one via per pin
+  for the local input connection;
+* the PLB's local interconnect contributes sites proportional to its
+  calibrated overhead area (one potential site per
+  :data:`SITE_AREA_UM2`);
+* an SRAM FPGA pays :data:`SRAM_AREA_RATIO` times more area per
+  configuration bit than a potential via site costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..netlist.core import Netlist
+from .plb import PLBArchitecture
+
+#: Area of one potential via site (um^2) — essentially free in upper metal.
+SITE_AREA_UM2 = 0.25
+#: Area ratio of an SRAM configuration bit to a potential via site.
+SRAM_AREA_RATIO = 20.0
+
+
+def cell_config_sites(cell) -> int:
+    """Function-selection via sites for one component cell."""
+    if cell.feasible is None:
+        return 1  # a DFF's scan/init option
+    return max(1, math.ceil(math.log2(max(2, len(cell.feasible)))))
+
+
+def cell_total_sites(cell) -> int:
+    """Config sites plus one input-connection via per pin (plus output)."""
+    return cell_config_sites(cell) + cell.n_inputs + 1
+
+
+@dataclass(frozen=True)
+class PLBViaBudget:
+    """Potential via sites of one PLB architecture."""
+
+    arch_name: str
+    component_sites: int
+    interconnect_sites: int
+
+    @property
+    def total(self) -> int:
+        return self.component_sites + self.interconnect_sites
+
+    @property
+    def sram_equivalent_area(self) -> float:
+        """Area an SRAM-programmed block would spend on the same bits."""
+        return self.total * SITE_AREA_UM2 * SRAM_AREA_RATIO
+
+    @property
+    def via_site_area(self) -> float:
+        return self.total * SITE_AREA_UM2
+
+
+def plb_via_budget(arch: PLBArchitecture) -> PLBViaBudget:
+    """Potential via sites for one PLB of ``arch``."""
+    component_sites = 0
+    for slot, count in arch.slots.items():
+        cell = arch.slot_cells[slot]
+        component_sites += count * cell_total_sites(cell)
+    interconnect_sites = int(
+        (arch.comb_overhead + arch.seq_overhead) / SITE_AREA_UM2
+    )
+    return PLBViaBudget(
+        arch_name=arch.name,
+        component_sites=component_sites,
+        interconnect_sites=interconnect_sites,
+    )
+
+
+@dataclass(frozen=True)
+class DesignViaStats:
+    """Configured-via statistics for a packed design."""
+
+    design: str
+    arch_name: str
+    configured_vias: int
+    potential_sites: int
+
+    @property
+    def utilization(self) -> float:
+        if self.potential_sites == 0:
+            return 0.0
+        return self.configured_vias / self.potential_sites
+
+
+def configured_vias(netlist: Netlist) -> int:
+    """Vias actually placed to configure ``netlist``'s instances.
+
+    Per instance: one via per connected pin (input selection + output),
+    plus the function-selection vias implied by its configuration (the
+    index of the chosen function within the cell's feasible set, in
+    bits).
+    """
+    total = 0
+    for inst in netlist.instances.values():
+        total += inst.cell.n_inputs + 1
+        total += cell_config_sites(inst.cell)
+    return total
+
+
+def design_via_stats(
+    netlist: Netlist, arch: PLBArchitecture, n_plbs: int, design: str = ""
+) -> DesignViaStats:
+    """Via statistics for a design packed into ``n_plbs`` PLBs."""
+    budget = plb_via_budget(arch)
+    return DesignViaStats(
+        design=design or netlist.name,
+        arch_name=arch.name,
+        configured_vias=configured_vias(netlist),
+        potential_sites=n_plbs * budget.total,
+    )
+
+
+def granularity_cost_comparison() -> Dict[str, Mapping[str, float]]:
+    """The paper's cost argument, quantified for both architectures.
+
+    Returns per-architecture: potential sites per PLB, their silicon
+    cost, and what the same programmability would cost in SRAM bits —
+    demonstrating why heterogeneity is cheap for VPGAs.
+    """
+    from .plb import granular_plb, lut_plb
+
+    out: Dict[str, Mapping[str, float]] = {}
+    for arch in (lut_plb(), granular_plb()):
+        budget = plb_via_budget(arch)
+        out[arch.name] = {
+            "potential_sites": float(budget.total),
+            "via_site_area_um2": budget.via_site_area,
+            "sram_equivalent_area_um2": budget.sram_equivalent_area,
+            "plb_area_um2": arch.area,
+            "site_area_fraction": budget.via_site_area / arch.area,
+            "sram_area_fraction": budget.sram_equivalent_area / arch.area,
+        }
+    return out

@@ -1,0 +1,30 @@
+"""The four benchmark designs of the paper's evaluation.
+
+ALU, FPU and Network switch are datapath-dominated; Firewire is a
+control/sequential-dominated link controller — the mix Section 3.2 uses
+to show that the optimal PLB depends on the application domain.
+"""
+
+from .alu import build_alu
+from .fpu import build_fpu
+from .netswitch import build_netswitch
+from .firewire import build_firewire
+from .random_logic import build_random_design
+from . import rtl
+
+DESIGN_BUILDERS = {
+    "alu": build_alu,
+    "fpu": build_fpu,
+    "netswitch": build_netswitch,
+    "firewire": build_firewire,
+}
+
+__all__ = [
+    "build_alu",
+    "build_fpu",
+    "build_netswitch",
+    "build_firewire",
+    "DESIGN_BUILDERS",
+    "build_random_design",
+    "rtl",
+]

@@ -1,0 +1,64 @@
+"""The ALU benchmark design (datapath-dominated).
+
+A registered W-bit ALU: add, subtract, and, or, xor, logical shifts,
+set-less-than and pass-through, selected by a 3-bit opcode.  Inputs and
+results are registered, matching a pipeline stage.  This is the smallest
+of the paper's three datapath designs.
+"""
+
+from __future__ import annotations
+
+from ..netlist.build import CONST0, NetlistBuilder
+from ..netlist.core import Netlist
+from .rtl import (
+    barrel_shifter,
+    less_than,
+    mux_tree,
+    register_word,
+    ripple_adder,
+    subtractor,
+)
+
+DEFAULT_WIDTH = 16
+
+
+def build_alu(width: int = DEFAULT_WIDTH, name: str = "alu") -> Netlist:
+    """Build the ALU netlist.
+
+    Opcodes: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 shift-left, 6 shift-right,
+    7 set-less-than.
+    """
+    b = NetlistBuilder(name)
+    a_in = b.input_word("a", width)
+    c_in = b.input_word("c", width)
+    op = b.input_word("op", 3)
+
+    # Input registers (pipeline stage boundary).
+    a = register_word(b, a_in, "reg_a")
+    c = register_word(b, c_in, "reg_c")
+    opr = register_word(b, op, "reg_op")
+
+    shamt_bits = max(1, (width - 1).bit_length())
+    shamt = c[:shamt_bits]
+
+    add_res, add_carry = ripple_adder(b, a, c)
+    sub_res, _ = subtractor(b, a, c)
+    and_res = [b.AND(x, y) for x, y in zip(a, c)]
+    or_res = [b.OR(x, y) for x, y in zip(a, c)]
+    xor_res = [b.XOR(x, y) for x, y in zip(a, c)]
+    shl_res = barrel_shifter(b, a, shamt, left=True)
+    shr_res = barrel_shifter(b, a, shamt, left=False)
+    slt_bit = less_than(b, a, c)
+    slt_res = [slt_bit] + [CONST0] * (width - 1)
+
+    result = mux_tree(
+        b, opr,
+        [add_res, sub_res, and_res, or_res, xor_res, shl_res, shr_res, slt_res],
+    )
+    zero = b.NOR(*result)
+
+    out = register_word(b, result, "reg_out")
+    b.output_word(out, "result")
+    b.output(b.DFF(zero, name="reg_zero"), "zero")
+    b.output(b.DFF(add_carry, name="reg_carry"), "carry")
+    return b.netlist

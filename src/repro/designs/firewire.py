@@ -1,0 +1,167 @@
+"""The Firewire benchmark design (control/sequential-dominated).
+
+A small IEEE-1394-style link-layer controller: the paper's one
+control-dominated benchmark, whose high flip-flop fraction makes the
+granular PLB *lose* on area ("the design is dominated by sequential
+rather than combinational logic").
+
+Blocks: link-state FSM, transmit FSM, receive FSM, a serial CRC-16, a
+cycle-timer and retry counters, and a bank of configuration/status
+registers with write enables.  Next-state logic is intentionally thin —
+the DFF :combinational ratio is what defines this workload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.build import CONST0, CONST1, NetlistBuilder, Signal
+from ..netlist.core import Netlist
+from .rtl import (
+    counter,
+    crc_register,
+    equality,
+    moore_fsm,
+    register_word,
+    register_word_enable,
+)
+
+#: CRC-16-CCITT tap positions (x^16 + x^12 + x^5 + 1).
+CRC16_TAPS = (0, 5, 12)
+
+DEFAULT_TIMER_BITS = 12
+DEFAULT_CONFIG_REGS = 6
+DEFAULT_REG_WIDTH = 8
+DEFAULT_FIFO_DEPTH = 8
+
+
+def build_firewire(
+    timer_bits: int = DEFAULT_TIMER_BITS,
+    config_regs: int = DEFAULT_CONFIG_REGS,
+    reg_width: int = DEFAULT_REG_WIDTH,
+    fifo_depth: int = DEFAULT_FIFO_DEPTH,
+    name: str = "firewire",
+) -> Netlist:
+    """Build the Firewire-style link controller netlist."""
+    b = NetlistBuilder(name)
+
+    bus_request = b.input("bus_request")
+    bus_grant = b.input("bus_grant")
+    rx_start = b.input("rx_start")
+    rx_end = b.input("rx_end")
+    tx_ready = b.input("tx_ready")
+    ack_received = b.input("ack_received")
+    error_in = b.input("error_in")
+    data_in = b.input_word("data", 8)
+    addr_in = b.input_word("addr", 3)
+    write_en = b.input("write_en")
+
+    # ------------------------------------------------------------------
+    # Link state FSM: idle -> arbitrating -> granted -> active -> ack wait.
+    # ------------------------------------------------------------------
+    IDLE, ARB, GRANTED, ACTIVE, ACKWAIT, RECOVER = range(6)
+    link_bits, link_onehot = moore_fsm(
+        b, 6,
+        {
+            IDLE: [(bus_request, ARB), (None, IDLE)],
+            ARB: [(bus_grant, GRANTED), (error_in, RECOVER), (None, ARB)],
+            GRANTED: [(tx_ready, ACTIVE), (None, GRANTED)],
+            ACTIVE: [(error_in, RECOVER), (rx_end, ACKWAIT), (None, ACTIVE)],
+            ACKWAIT: [(ack_received, IDLE), (error_in, RECOVER), (None, ACKWAIT)],
+            RECOVER: [(None, IDLE)],
+        },
+        name="link",
+    )
+
+    # Transmit FSM.
+    TIDLE, THEADER, TPAYLOAD, TCRC, TEOF = range(5)
+    tx_active = link_onehot[ACTIVE]
+    tx_bits, tx_onehot = moore_fsm(
+        b, 5,
+        {
+            TIDLE: [(tx_active, THEADER), (None, TIDLE)],
+            THEADER: [(tx_ready, TPAYLOAD), (None, THEADER)],
+            TPAYLOAD: [(rx_end, TCRC), (error_in, TIDLE), (None, TPAYLOAD)],
+            TCRC: [(None, TEOF)],
+            TEOF: [(None, TIDLE)],
+        },
+        name="tx",
+    )
+
+    # Receive FSM.
+    RIDLE, RSYNC, RDATA, RCHECK = range(4)
+    rx_bits, rx_onehot = moore_fsm(
+        b, 4,
+        {
+            RIDLE: [(rx_start, RSYNC), (None, RIDLE)],
+            RSYNC: [(None, RDATA)],
+            RDATA: [(rx_end, RCHECK), (error_in, RIDLE), (None, RDATA)],
+            RCHECK: [(None, RIDLE)],
+        },
+        name="rx",
+    )
+
+    # ------------------------------------------------------------------
+    # Timers, counters, CRC.
+    # ------------------------------------------------------------------
+    cycle_timer = counter(b, timer_bits, CONST1, name="cycle_timer")
+    retry_count = counter(b, 4, link_onehot[RECOVER], name="retry")
+    busy_timer = counter(b, 6, tx_onehot[TPAYLOAD], name="busy")
+
+    rx_active = rx_onehot[RDATA]
+    crc = crc_register(b, data_in, 16, CRC16_TAPS, rx_active, name="crc16")
+    crc_ok = b.NOR(*crc)
+
+    # ------------------------------------------------------------------
+    # Transmit / receive data FIFOs (shift-register delay lines) — the
+    # bulk of a link layer's flip-flops, with no combinational logic.
+    # ------------------------------------------------------------------
+    tx_tail: List[Signal] = []
+    rx_tail: List[Signal] = []
+    for lane, (tail, label) in enumerate(((tx_tail, "txfifo"), (rx_tail, "rxfifo"))):
+        for bit_index, bit in enumerate(data_in):
+            stage = bit
+            for depth in range(fifo_depth):
+                stage = b.DFF(stage, name=f"{label}_{bit_index}_{depth}")
+            tail.append(stage)
+
+    # ------------------------------------------------------------------
+    # Configuration/status register bank.
+    # ------------------------------------------------------------------
+    reg_outputs: List[List[Signal]] = []
+    for r in range(config_regs):
+        sel = equality(
+            b, addr_in,
+            [CONST1 if (r >> i) & 1 else CONST0 for i in range(3)],
+        )
+        enable = b.AND(write_en, sel)
+        reg = register_word_enable(
+            b, data_in[:reg_width], enable, name=f"cfg{r}"
+        )
+        reg_outputs.append(reg)
+
+    status = [
+        link_onehot[ACTIVE],
+        link_onehot[RECOVER],
+        crc_ok,
+        retry_count[-1],
+        busy_timer[-1],
+        rx_onehot[RCHECK],
+        tx_onehot[TEOF],
+        cycle_timer[-1],
+    ]
+    status_reg = register_word(b, status, "reg_status")
+
+    # ------------------------------------------------------------------
+    # Outputs.
+    # ------------------------------------------------------------------
+    b.output_word(status_reg, "status")
+    b.output_word(link_bits, "link_state")
+    b.output_word(tx_bits, "tx_state")
+    b.output_word(rx_bits, "rx_state")
+    b.output_word(cycle_timer[-4:], "timer_hi")
+    b.output_word(tx_tail, "tx_data")
+    b.output_word(rx_tail, "rx_data")
+    for r, reg in enumerate(reg_outputs):
+        b.output(reg[0], f"cfg_bit{r}")
+    return b.netlist

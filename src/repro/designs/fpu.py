@@ -1,0 +1,127 @@
+"""The FPU benchmark design (datapath-dominated, the paper's largest win).
+
+A registered floating-point unit over a compact custom format
+(1 sign + E exponent + M mantissa bits, FP16-like by default) with an
+adder and a multiplier datapath selected by one opcode bit:
+
+* **add**: exponent compare/subtract, mantissa swap and alignment
+  (barrel shift), mantissa add, leading-one detection (priority encoder)
+  and normalization shift;
+* **mul**: (M+1) x (M+1) array multiplier over the implicit-one
+  mantissas, exponent add, single-step normalization.
+
+No rounding/denormal handling — the paper's FPU is a performance
+workload, not an IEEE core; what matters is the adder/shifter/multiplier
+mix that dominates real FPUs.
+"""
+
+from __future__ import annotations
+
+from ..netlist.build import CONST0, CONST1, NetlistBuilder
+from ..netlist.core import Netlist
+from .rtl import (
+    array_multiplier,
+    barrel_shifter,
+    less_than,
+    mux_word,
+    priority_encoder,
+    register_word,
+    ripple_adder,
+    subtractor,
+)
+
+DEFAULT_EXP = 5
+DEFAULT_MANT = 10
+
+
+def build_fpu(
+    exp_bits: int = DEFAULT_EXP, mant_bits: int = DEFAULT_MANT, name: str = "fpu"
+) -> Netlist:
+    """Build the FPU netlist (width = 1 + exp_bits + mant_bits)."""
+    b = NetlistBuilder(name)
+    width = 1 + exp_bits + mant_bits
+    x_in = b.input_word("x", width)
+    y_in = b.input_word("y", width)
+    mul_op = b.input("op_mul")
+
+    x = register_word(b, x_in, "reg_x")
+    y = register_word(b, y_in, "reg_y")
+    op = b.DFF(mul_op, name="reg_op")
+
+    def unpack(word):
+        mant = word[:mant_bits]
+        exp = word[mant_bits:mant_bits + exp_bits]
+        sign = word[width - 1]
+        return sign, exp, mant
+
+    xs, xe, xm = unpack(x)
+    ys, ye, ym = unpack(y)
+
+    # ------------------------------------------------------------------
+    # Adder path (same-sign magnitude add; swap so |x| >= |y|).
+    # ------------------------------------------------------------------
+    x_smaller = less_than(b, xe, ye)
+    big_e = mux_word(b, x_smaller, xe, ye)
+    small_e = mux_word(b, x_smaller, ye, xe)
+    big_m = mux_word(b, x_smaller, xm, ym)
+    small_m = mux_word(b, x_smaller, ym, xm)
+    big_s = b.MUX(x_smaller, xs, ys)
+
+    ediff, _ = subtractor(b, big_e, small_e)
+    shamt_bits = max(1, (mant_bits).bit_length())
+    # Implicit leading one on both mantissas.
+    big_full = big_m + [CONST1]
+    small_full = small_m + [CONST1]
+    aligned = barrel_shifter(b, small_full, ediff[:shamt_bits], left=False)
+
+    mant_sum, sum_carry = ripple_adder(b, big_full, aligned)
+    sum_ext = mant_sum + [sum_carry]
+
+    # Normalize: find the leading one and shift it to the top.
+    lead_index, any_set = priority_encoder(b, sum_ext)
+    # Shift amount = (len-1) - index; compute via subtractor on index bits.
+    top = len(sum_ext) - 1
+    top_bits = [CONST1 if (top >> i) & 1 else CONST0 for i in range(len(lead_index))]
+    norm_shift, _ = subtractor(b, top_bits, lead_index)
+    normalized = barrel_shifter(b, sum_ext, norm_shift[: len(lead_index)], left=True)
+    add_mant = normalized[len(sum_ext) - mant_bits:]
+    # Exponent adjust: big_e + 1 - norm_shift (carry case), approximated
+    # with one adder: big_e + (sum_carry ? 1 : 0) - handled via mux.
+    e_plus1, _ = ripple_adder(b, big_e, [CONST1] + [CONST0] * (exp_bits - 1))
+    add_exp = mux_word(b, sum_carry, big_e, e_plus1)
+    add_sign = big_s
+
+    # ------------------------------------------------------------------
+    # Multiplier path.
+    # ------------------------------------------------------------------
+    xm_full = xm + [CONST1]
+    ym_full = ym + [CONST1]
+    product = array_multiplier(b, xm_full, ym_full)
+    # Product of two 1.M numbers is in [1, 4): top bit selects normalize.
+    # With the leading one at bit 2M+1 (value >= 2) the mantissa is bits
+    # [M+1 .. 2M]; with it at bit 2M (value < 2) the mantissa is [M .. 2M-1].
+    p_top = product[-1]
+    top = len(product)  # == 2 * (mant_bits + 1)
+    prod_hi = product[top - mant_bits - 1: top - 1]
+    prod_lo = product[top - mant_bits - 2: top - 2]
+    mul_mant = mux_word(b, p_top, prod_lo, prod_hi)
+    exp_sum, _ = ripple_adder(b, xe, ye)
+    exp_adj, _ = ripple_adder(
+        b, exp_sum, [p_top] + [CONST0] * (exp_bits - 1)
+    )
+    mul_exp = exp_adj
+    mul_sign = b.XOR(xs, ys)
+
+    # ------------------------------------------------------------------
+    # Select, pack, register.
+    # ------------------------------------------------------------------
+    out_mant = mux_word(b, op, add_mant, mul_mant)
+    out_exp = mux_word(b, op, add_exp, mul_exp)
+    out_sign = b.MUX(op, add_sign, mul_sign)
+    zero_flag = b.MUX(op, b.NOT(any_set), CONST0)
+
+    packed = list(out_mant) + list(out_exp) + [out_sign]
+    out = register_word(b, packed, "reg_out")
+    b.output_word(out, "result")
+    b.output(b.DFF(zero_flag, name="reg_zero"), "zero")
+    return b.netlist

@@ -1,0 +1,59 @@
+"""Seeded random sequential designs for flow robustness testing.
+
+Generates structurally diverse netlists — random mixes of 2/3-input
+gates, muxes, registers and feedback loops — used by the fuzz tests to
+exercise the synthesis/compaction/packing pipeline far beyond the four
+curated benchmarks.  Fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..logic.truthtable import TruthTable
+from ..netlist.build import NetlistBuilder, Signal
+from ..netlist.core import Netlist
+
+
+def build_random_design(
+    seed: int,
+    n_inputs: int = 6,
+    n_gates: int = 60,
+    register_rate: float = 0.15,
+    n_outputs: int = 6,
+    name: str = "",
+) -> Netlist:
+    """A random sequential design.
+
+    Parameters are soft targets: constant folding may absorb some gates.
+    Registers create feedback-free pipeline stages (state feeds later
+    logic only through its Q pin, so the design is always legal).
+    """
+    rng = random.Random(seed)
+    b = NetlistBuilder(name or f"rand{seed}")
+    signals: List[Signal] = [b.input(f"i{k}") for k in range(n_inputs)]
+
+    for index in range(n_gates):
+        arity = rng.choice((1, 2, 2, 3, 3, 3))
+        mask = rng.randrange(1 << (1 << arity))
+        table = TruthTable(arity, mask)
+        picks = [signals[rng.randrange(len(signals))] for _ in range(arity)]
+        out = b.gate(table, *picks)
+        if out in ("$const0", "$const1"):
+            continue
+        if rng.random() < register_rate:
+            out = b.DFF(out)
+        signals.append(out)
+
+    # Pick distinct late signals as outputs (prefer deep logic).
+    candidates = [s for s in signals[n_inputs:] if isinstance(s, str)]
+    if not candidates:
+        candidates = signals[:n_inputs]
+    rng.shuffle(candidates)
+    for index, signal in enumerate(candidates[:n_outputs]):
+        b.output(signal, f"o{index}")
+    if not b.netlist.outputs:
+        b.output(signals[0], "o0")
+    b.netlist.sweep_dangling()
+    return b.netlist

@@ -1,0 +1,334 @@
+"""RTL-style building blocks for the benchmark designs.
+
+These helpers generate gate-level structures through the
+:class:`~repro.netlist.build.NetlistBuilder` — ripple/carry arithmetic,
+barrel shifters, comparators, multipliers, encoders, CRC networks,
+registers, counters and Moore FSMs.  Together they play the role of the
+RTL the paper feeds its flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist.build import CONST0, CONST1, NetlistBuilder, Signal
+
+
+def full_adder(
+    b: NetlistBuilder, x: Signal, y: Signal, cin: Signal
+) -> Tuple[Signal, Signal]:
+    """(sum, carry-out) — the paper's Section 2.2 structure."""
+    p = b.XOR(x, y)
+    s = b.XOR(p, cin)
+    g = b.AND(x, y)
+    cout = b.MUX(p, g, cin)
+    return s, cout
+
+
+def ripple_adder(
+    b: NetlistBuilder,
+    xs: Sequence[Signal],
+    ys: Sequence[Signal],
+    cin: Signal = CONST0,
+) -> Tuple[List[Signal], Signal]:
+    """Ripple-carry adder; returns (sum bits, carry out)."""
+    if len(xs) != len(ys):
+        raise ValueError("adder operand width mismatch")
+    sums: List[Signal] = []
+    carry = cin
+    for x, y in zip(xs, ys):
+        s, carry = full_adder(b, x, y, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def subtractor(
+    b: NetlistBuilder, xs: Sequence[Signal], ys: Sequence[Signal]
+) -> Tuple[List[Signal], Signal]:
+    """xs - ys via two's complement; returns (difference, borrow-free)."""
+    inverted = [b.NOT(y) for y in ys]
+    return ripple_adder(b, xs, inverted, CONST1)
+
+
+def increment(
+    b: NetlistBuilder, xs: Sequence[Signal]
+) -> Tuple[List[Signal], Signal]:
+    """xs + 1 (half-adder chain)."""
+    out: List[Signal] = []
+    carry: Signal = CONST1
+    for x in xs:
+        out.append(b.XOR(x, carry))
+        carry = b.AND(x, carry)
+    return out, carry
+
+
+def equality(
+    b: NetlistBuilder, xs: Sequence[Signal], ys: Sequence[Signal]
+) -> Signal:
+    """1 when the words are equal."""
+    bits = [b.XNOR(x, y) for x, y in zip(xs, ys)]
+    return b.AND(*bits)
+
+
+def less_than(
+    b: NetlistBuilder, xs: Sequence[Signal], ys: Sequence[Signal]
+) -> Signal:
+    """Unsigned xs < ys (ripple compare from the LSB)."""
+    lt: Signal = CONST0
+    for x, y in zip(xs, ys):
+        eq = b.XNOR(x, y)
+        lt_bit = b.AND(b.NOT(x), y)
+        lt = b.MUX(eq, lt_bit, lt)
+    return lt
+
+
+def mux_word(
+    b: NetlistBuilder,
+    select: Signal,
+    w0: Sequence[Signal],
+    w1: Sequence[Signal],
+) -> List[Signal]:
+    return [b.MUX(select, a, c) for a, c in zip(w0, w1)]
+
+
+def mux_tree(
+    b: NetlistBuilder,
+    selects: Sequence[Signal],
+    words: Sequence[Sequence[Signal]],
+) -> List[Signal]:
+    """2^k-way word mux (``selects`` LSB-first)."""
+    level: List[Sequence[Signal]] = list(words)
+    for select in selects:
+        nxt: List[Sequence[Signal]] = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                nxt.append(mux_word(b, select, level[i], level[i + 1]))
+            else:
+                nxt.append(list(level[i]))
+        level = nxt
+    return list(level[0])
+
+
+def barrel_shifter(
+    b: NetlistBuilder,
+    xs: Sequence[Signal],
+    amount: Sequence[Signal],
+    left: bool = True,
+) -> List[Signal]:
+    """Logarithmic shifter, zero fill."""
+    word = list(xs)
+    for stage, sel in enumerate(amount):
+        shift = 1 << stage
+        shifted: List[Signal] = []
+        n = len(word)
+        for i in range(n):
+            src = i - shift if left else i + shift
+            shifted.append(word[src] if 0 <= src < n else CONST0)
+        word = mux_word(b, sel, word, shifted)
+    return word
+
+
+def array_multiplier(
+    b: NetlistBuilder, xs: Sequence[Signal], ys: Sequence[Signal]
+) -> List[Signal]:
+    """Unsigned array multiplier (carry-save rows)."""
+    n, m = len(xs), len(ys)
+    acc: List[Signal] = [CONST0] * (n + m)
+    for j, y in enumerate(ys):
+        partial = [b.AND(x, y) for x in xs]
+        carry: Signal = CONST0
+        for i, p in enumerate(partial):
+            s, carry = full_adder(b, acc[i + j], p, carry)
+            acc[i + j] = s
+        # Propagate the row carry up the accumulator.
+        k = j + n
+        while carry != CONST0 and k < n + m:
+            acc[k], carry = (
+                b.XOR(acc[k], carry),
+                b.AND(acc[k], carry),
+            )
+            k += 1
+    return acc
+
+
+def decoder(b: NetlistBuilder, sel: Sequence[Signal]) -> List[Signal]:
+    """k-to-2^k one-hot decoder."""
+    outs: List[Signal] = [CONST1]
+    for s in sel:
+        inv = b.NOT(s)
+        outs = [b.AND(o, inv) for o in outs] + [b.AND(o, s) for o in outs]
+    return outs
+
+
+def priority_encoder(
+    b: NetlistBuilder, bits: Sequence[Signal]
+) -> Tuple[List[Signal], Signal]:
+    """Position of the highest set bit; returns (index bits, any-set)."""
+    n = len(bits)
+    width = max(1, (n - 1).bit_length())
+    index: List[Signal] = [CONST0] * width
+    found: Signal = CONST0
+    for i, bit in enumerate(bits):  # low to high: higher wins
+        take = bit
+        for w in range(width):
+            want = CONST1 if (i >> w) & 1 else CONST0
+            index[w] = b.MUX(take, index[w], want)
+        found = b.OR(found, take)
+    return index, found
+
+
+def register_word(
+    b: NetlistBuilder, word: Sequence[Signal], name: Optional[str] = None
+) -> List[Signal]:
+    return [
+        b.DFF(bit, name=f"{name}_{i}" if name else None)
+        for i, bit in enumerate(word)
+    ]
+
+
+def register_word_enable(
+    b: NetlistBuilder,
+    word: Sequence[Signal],
+    enable: Signal,
+    name: Optional[str] = None,
+) -> List[Signal]:
+    """Register with write enable (mux feedback)."""
+    outs: List[Signal] = []
+    for i, bit in enumerate(word):
+        q_name = f"{name}_{i}" if name else None
+        # Build the DFF first so the feedback net exists.
+        d_placeholder = b.netlist.add_net()
+        q = b.netlist.add_instance(
+            b._dff, {"D": d_placeholder}, name=q_name
+        ).output_net
+        d = b._materialize(b.MUX(enable, q, bit))
+        # Rewire: connect the mux output to the DFF's D.
+        inst_name = b.netlist.nets[q].driver[0]
+        b.netlist.rewire_sink(inst_name, "D", d)
+        b.netlist.nets[d_placeholder].sinks  # placeholder now unused
+        _drop_placeholder(b, d_placeholder)
+        outs.append(q)
+    return outs
+
+
+def _drop_placeholder(b: NetlistBuilder, net: str) -> None:
+    if not b.netlist.nets[net].sinks and b.netlist.nets[net].driver is None:
+        b.netlist.remove_net(net)
+
+
+def counter(
+    b: NetlistBuilder, width: int, enable: Signal, name: str
+) -> List[Signal]:
+    """Free-running (gated) binary counter."""
+    qs: List[Signal] = []
+    d_nets: List[str] = []
+    for i in range(width):
+        placeholder = b.netlist.add_net()
+        q = b.netlist.add_instance(
+            b._dff, {"D": placeholder}, name=f"{name}_{i}"
+        ).output_net
+        qs.append(q)
+        d_nets.append(placeholder)
+    incremented, _ = increment(b, qs)
+    for i in range(width):
+        d = b._materialize(b.MUX(enable, qs[i], incremented[i]))
+        dff_name = b.netlist.nets[qs[i]].driver[0]
+        b.netlist.rewire_sink(dff_name, "D", d)
+        _drop_placeholder(b, d_nets[i])
+    return qs
+
+
+def moore_fsm(
+    b: NetlistBuilder,
+    n_states: int,
+    transitions: Mapping[int, Sequence[Tuple[Optional[Signal], int]]],
+    name: str,
+) -> Tuple[List[Signal], List[Signal]]:
+    """A Moore FSM over one-hot-decoded binary state.
+
+    ``transitions[state]`` is a priority list of ``(condition, next)``;
+    ``condition None`` is the default arc.  Returns (state bits, one-hot
+    state lines).
+    """
+    width = max(1, (n_states - 1).bit_length())
+    qs: List[Signal] = []
+    placeholders: List[str] = []
+    for i in range(width):
+        placeholder = b.netlist.add_net()
+        q = b.netlist.add_instance(
+            b._dff, {"D": placeholder}, name=f"{name}_s{i}"
+        ).output_net
+        qs.append(q)
+        placeholders.append(placeholder)
+    onehot = decoder(b, qs)[:n_states]
+
+    next_bits: List[Signal] = [CONST0] * width
+
+    def const_word(value: int) -> List[Signal]:
+        return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+    for state in range(n_states):
+        arcs = list(transitions.get(state, [(None, state)]))
+        target: List[Signal] = const_word(state)
+        # Apply priority arcs from lowest priority (default) upwards.
+        for condition, nxt in reversed(arcs):
+            word = const_word(nxt)
+            if condition is None:
+                target = word
+            else:
+                target = mux_word(b, condition, target, word)
+        gated = [b.AND(onehot[state], bit) for bit in target]
+        next_bits = [b.OR(acc, g) for acc, g in zip(next_bits, gated)]
+
+    for i in range(width):
+        dff_name = b.netlist.nets[qs[i]].driver[0]
+        b.netlist.rewire_sink(dff_name, "D", b._materialize(next_bits[i]))
+        _drop_placeholder(b, placeholders[i])
+    return qs, onehot
+
+
+def crc_step(
+    b: NetlistBuilder,
+    state: Sequence[Signal],
+    data_bit: Signal,
+    taps: Sequence[int],
+) -> List[Signal]:
+    """One serial CRC shift with polynomial ``taps`` (bit positions)."""
+    width = len(state)
+    feedback = b.XOR(state[width - 1], data_bit)
+    nxt: List[Signal] = []
+    for i in range(width):
+        bit = state[i - 1] if i > 0 else CONST0
+        if i in taps:
+            bit = b.XOR(bit, feedback) if bit != CONST0 else feedback
+        nxt.append(bit)
+    return nxt
+
+
+def crc_register(
+    b: NetlistBuilder,
+    data_bits: Sequence[Signal],
+    width: int,
+    taps: Sequence[int],
+    enable: Signal,
+    name: str,
+) -> List[Signal]:
+    """A CRC register consuming ``data_bits`` per cycle (unrolled)."""
+    qs: List[Signal] = []
+    placeholders: List[str] = []
+    for i in range(width):
+        placeholder = b.netlist.add_net()
+        q = b.netlist.add_instance(
+            b._dff, {"D": placeholder}, name=f"{name}_{i}"
+        ).output_net
+        qs.append(q)
+        placeholders.append(placeholder)
+    state: List[Signal] = list(qs)
+    for bit in data_bits:
+        state = crc_step(b, state, bit, taps)
+    for i in range(width):
+        d = b._materialize(b.MUX(enable, qs[i], state[i]))
+        dff_name = b.netlist.nets[qs[i]].driver[0]
+        b.netlist.rewire_sink(dff_name, "D", d)
+        _drop_placeholder(b, placeholders[i])
+    return qs

@@ -1,0 +1,266 @@
+"""The VPGA design flow (paper Figure 6).
+
+::
+
+    RTL (design generators)
+      |  synthesis + technology mapping        (repro.synth.techmap)
+      |  regularity-driven logic compaction    (repro.synth.compaction)
+      |  physical synthesis + ASIC placement   (repro.place)
+      |-- flow a: ASIC routing + extraction + STA          -> FlowResult
+      |-- flow b: packing into the PLB array (quadrisection,
+      |           iterative with physical synthesis), then
+      |           ASIC-style routing over the array + STA  -> FlowResult
+
+    "Flow a is obtained if we skip the Packing step ... essentially the
+    standard cell ASIC flow using a library which comprises of cells that
+    make up each PLB.  Flow b ... produces a regular PLB array with
+    ASIC-style custom routing."
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cells.characterize import TimingLibrary, characterize_library
+from ..cells.library import Library
+from ..core.plb import PLBArchitecture, granular_plb, lut_plb
+from ..netlist.core import Netlist
+from ..netlist.stats import NetlistStats, gather
+from ..pack.iterative import PackedDesign, run_packing_loop
+from ..place.physical_synthesis import PhysicalResult, run_physical_synthesis
+from ..route.extract import route_and_extract
+from ..route.grid import RoutingGrid
+from ..route.pathfinder import RoutingResult
+from ..synth.compaction import CompactionReport, compact_to_fixpoint
+from ..synth.from_netlist import CombCore, extract_core
+from ..synth.optimize import optimize
+from ..synth.techmap import map_core
+from ..timing.sta import TimingReport, analyze
+from .options import FlowOptions
+
+#: Deep mapped netlists recurse through reconstruction helpers.
+_RECURSION_LIMIT = 100_000
+
+
+#: Custom architectures registered for flow runs, by name.
+_CUSTOM_ARCHITECTURES: Dict[str, PLBArchitecture] = {}
+
+
+def register_architecture(arch: PLBArchitecture) -> PLBArchitecture:
+    """Make a custom PLB architecture resolvable by name in the flow.
+
+    Together with :func:`repro.core.plb.custom_plb` this enables the
+    paper's proposed future work: pushing arbitrary PLB candidates
+    through the complete Figure-6 flow.
+    """
+    _CUSTOM_ARCHITECTURES[arch.name] = arch
+    return arch
+
+
+def architecture_of(name) -> PLBArchitecture:
+    if isinstance(name, PLBArchitecture):
+        return name
+    if name == "lut":
+        return lut_plb()
+    if name == "granular":
+        return granular_plb()
+    if name in _CUSTOM_ARCHITECTURES:
+        return _CUSTOM_ARCHITECTURES[name]
+    raise ValueError(f"unknown architecture {name!r}")
+
+
+@dataclass
+class SynthesisResult:
+    """Mapped + compacted netlist and its provenance."""
+
+    netlist: Netlist
+    arch: PLBArchitecture
+    library: Library
+    timing_library: TimingLibrary
+    compaction: CompactionReport
+    pre_compaction_stats: NetlistStats
+    stats: NetlistStats
+
+
+@dataclass
+class FlowResult:
+    """One flow endpoint (flow a or flow b) for one design/architecture."""
+
+    flow: str                     # "a" | "b"
+    arch_name: str
+    netlist_stats: NetlistStats
+    die_area: float               # um^2
+    timing: TimingReport
+    routing: RoutingResult
+    packing_displacement: float = 0.0
+    plbs_used: int = 0
+    array_side: int = 0
+
+    @property
+    def average_slack(self) -> float:
+        return self.timing.average_slack()
+
+    @property
+    def worst_slack(self) -> float:
+        return self.timing.worst_slack
+
+
+@dataclass
+class DesignRun:
+    """Both flows for one design on one architecture (shared front end)."""
+
+    design: str
+    arch_name: str
+    synthesis: SynthesisResult
+    physical: PhysicalResult
+    flow_a: FlowResult
+    flow_b: FlowResult
+
+
+def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
+    """Front end: AIG optimization, mapping, logic compaction."""
+    if sys.getrecursionlimit() < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    arch = architecture_of(options.arch)
+    library = arch.library
+    core = extract_core(netlist)
+    core = CombCore(
+        aig=optimize(core.aig, effort=options.opt_effort),
+        primary_inputs=core.primary_inputs,
+        primary_outputs=core.primary_outputs,
+        dffs=core.dffs,
+    )
+    mapped = map_core(core, options.arch, library)
+    pre_stats = gather(mapped)
+    if options.run_compaction:
+        mapped, report = compact_to_fixpoint(mapped, options.arch, library)
+    else:
+        area = pre_stats.total_area
+        report = CompactionReport(
+            applied=False, area_before=area, area_after=area,
+            supernodes_collapsed=0, structure_histogram={},
+        )
+    return SynthesisResult(
+        netlist=mapped,
+        arch=arch,
+        library=library,
+        timing_library=characterize_library(library),
+        compaction=report,
+        pre_compaction_stats=pre_stats,
+        stats=gather(mapped),
+    )
+
+
+def _route_flow_a(
+    physical: PhysicalResult, options: FlowOptions
+) -> tuple:
+    grid = physical.placement.grid
+    bins = max(4, options.routing_bins_per_side)
+    pitch = max(grid.width_um, grid.height_um) / bins
+    routing_grid = RoutingGrid(
+        cols=max(2, math.ceil(grid.width_um / pitch)),
+        rows=max(2, math.ceil(grid.height_um / pitch)),
+        bin_pitch=pitch,
+        tracks=options.routing_tracks,
+    )
+    points = physical.placement.net_pin_points(physical.netlist)
+    return route_and_extract(routing_grid, points)
+
+
+def run_flow_a(
+    synthesis: SynthesisResult, options: FlowOptions
+) -> tuple:
+    """ASIC flow on the component-cell library; returns (result, physical)."""
+    physical = run_physical_synthesis(
+        synthesis.netlist,
+        synthesis.library,
+        synthesis.timing_library,
+        period=options.period,
+        seed=options.seed,
+        iterations=options.place_iterations,
+        effort=options.place_effort,
+    )
+    routing, wires = _route_flow_a(physical, options)
+    timing = analyze(
+        physical.netlist, synthesis.timing_library, wires, period=options.period
+    )
+    # Flow a die area: the standard-cell core at the utilization target.
+    die_area = physical.placement.grid.area_um2
+    result = FlowResult(
+        flow="a",
+        arch_name=options.arch,
+        netlist_stats=gather(physical.netlist),
+        die_area=die_area,
+        timing=timing,
+        routing=routing,
+    )
+    return result, physical
+
+
+def run_flow_b(
+    synthesis: SynthesisResult,
+    physical: PhysicalResult,
+    options: FlowOptions,
+) -> FlowResult:
+    """Packing into the PLB array plus ASIC-style routing over it."""
+    packed: PackedDesign = run_packing_loop(
+        physical.netlist,
+        physical.placement,
+        synthesis.arch,
+        synthesis.library,
+        synthesis.timing_library,
+        period=options.period,
+        iterations=options.pack_iterations,
+        headroom=options.pack_headroom,
+    )
+    routing_grid = RoutingGrid(
+        cols=packed.packing.cols,
+        rows=packed.packing.rows,
+        bin_pitch=synthesis.arch.tile_side,
+        tracks=options.routing_tracks,
+    )
+    points = packed.packing.net_pin_points(packed.netlist)
+    routing, wires = route_and_extract(routing_grid, points)
+    timing = analyze(
+        packed.netlist, synthesis.timing_library, wires, period=options.period
+    )
+    return FlowResult(
+        flow="b",
+        arch_name=options.arch,
+        netlist_stats=gather(packed.netlist),
+        die_area=packed.die_area,
+        timing=timing,
+        routing=routing,
+        packing_displacement=packed.packing.total_displacement,
+        plbs_used=packed.packing.plbs_used,
+        array_side=packed.packing.cols,
+    )
+
+
+def run_design(
+    netlist: Netlist, arch, options: Optional[FlowOptions] = None
+) -> DesignRun:
+    """Run both flows for one design on one architecture.
+
+    ``arch`` is ``"lut"``, ``"granular"``, a registered custom name, or a
+    :class:`~repro.core.plb.PLBArchitecture` instance (registered
+    automatically).
+    """
+    if isinstance(arch, PLBArchitecture):
+        register_architecture(arch)
+        arch = arch.name
+    options = (options or FlowOptions()).with_arch(arch)
+    synthesis = synthesize(netlist, options)
+    flow_a, physical = run_flow_a(synthesis, options)
+    flow_b = run_flow_b(synthesis, physical, options)
+    return DesignRun(
+        design=netlist.name,
+        arch_name=arch,
+        synthesis=synthesis,
+        physical=physical,
+        flow_a=flow_a,
+        flow_b=flow_b,
+    )

@@ -1,0 +1,37 @@
+"""Flow configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..timing.sta import DEFAULT_CLOCK_PERIOD_NS
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """Knobs for one flow run (defaults match the paper's setup).
+
+    ``arch`` is ``"lut"`` or ``"granular"``.  ``place_effort`` scales the
+    annealing move budget (1.0 = full VPR schedule); experiment drivers
+    lower it for large designs to keep pure-Python runtimes sane — the
+    comparison is differential, so both architectures always run with
+    identical effort.
+    """
+
+    arch: str = "granular"
+    period: float = DEFAULT_CLOCK_PERIOD_NS
+    seed: int = 0
+    opt_effort: int = 1
+    run_compaction: bool = True
+    place_iterations: int = 2
+    place_effort: float = 1.0
+    pack_iterations: int = 2
+    pack_headroom: float = 1.15
+    utilization: float = 0.70
+    routing_tracks: int = 28
+    routing_bins_per_side: int = 12
+
+    def with_arch(self, arch: str) -> "FlowOptions":
+        from dataclasses import replace
+
+        return replace(self, arch=arch)

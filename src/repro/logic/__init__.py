@@ -1,0 +1,30 @@
+"""Boolean-function substrate: truth tables, NPN classes, expressions."""
+
+from .truthtable import TruthTable, all_functions, all_permutations
+from .npn import (
+    NPNTransform,
+    npn_canonical,
+    npn_canonical_with_transform,
+    npn_class,
+    npn_classes,
+    npn_equivalent,
+    npn_transforms,
+)
+from .expr import ExprError, parse, table_from_expr, variables
+
+__all__ = [
+    "TruthTable",
+    "all_functions",
+    "all_permutations",
+    "NPNTransform",
+    "npn_canonical",
+    "npn_canonical_with_transform",
+    "npn_class",
+    "npn_classes",
+    "npn_equivalent",
+    "npn_transforms",
+    "ExprError",
+    "parse",
+    "table_from_expr",
+    "variables",
+]

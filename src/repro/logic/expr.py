@@ -1,0 +1,189 @@
+"""A tiny Boolean expression language.
+
+Used by tests, examples and the design generators to state functions
+readably (``"s ? a : b"``-free: we use explicit operators).  Grammar, in
+order of decreasing precedence::
+
+    primary := NAME | '0' | '1' | '(' expr ')' | '~' primary
+    conj    := primary ('&' primary)*
+    parity  := conj ('^' conj)*
+    expr    := parity ('|' parity)*
+
+Names are ``[A-Za-z_][A-Za-z0-9_]*``.  :func:`parse` returns an AST;
+:func:`evaluate` produces a :class:`~repro.logic.truthtable.TruthTable`
+over a caller-supplied input ordering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .truthtable import TruthTable
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*|[01]|[()~&^|])")
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str  # '&', '|', '^'
+    operands: Tuple["Node", ...]
+
+
+Node = Union[Var, Const, Not, Op]
+
+
+class ExprError(ValueError):
+    """Raised on malformed expressions."""
+
+
+def tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExprError(f"unexpected character at {text[pos:]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._index] if self._index < len(self._tokens) else ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def parse(self) -> Node:
+        node = self._expr()
+        if self._index != len(self._tokens):
+            raise ExprError(f"trailing tokens: {self._tokens[self._index:]}")
+        return node
+
+    def _expr(self) -> Node:
+        return self._binary("|", self._parity)
+
+    def _parity(self) -> Node:
+        return self._binary("^", self._conj)
+
+    def _conj(self) -> Node:
+        return self._binary("&", self._primary)
+
+    def _binary(self, op: str, sub) -> Node:
+        operands = [sub()]
+        while self._peek() == op:
+            self._next()
+            operands.append(sub())
+        if len(operands) == 1:
+            return operands[0]
+        return Op(op, tuple(operands))
+
+    def _primary(self) -> Node:
+        token = self._next()
+        if token == "~":
+            return Not(self._primary())
+        if token == "(":
+            node = self._expr()
+            if self._next() != ")":
+                raise ExprError("missing closing parenthesis")
+            return node
+        if token in ("0", "1"):
+            return Const(token == "1")
+        if token and (token[0].isalpha() or token[0] == "_"):
+            return Var(token)
+        raise ExprError(f"unexpected token {token!r}")
+
+
+def parse(text: str) -> Node:
+    """Parse ``text`` into an expression AST."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise ExprError("empty expression")
+    return _Parser(tokens).parse()
+
+
+def variables(node: Node) -> Tuple[str, ...]:
+    """Variable names appearing in ``node``, in first-appearance order."""
+    seen: Dict[str, None] = {}
+
+    def walk(n: Node) -> None:
+        if isinstance(n, Var):
+            seen.setdefault(n.name, None)
+        elif isinstance(n, Not):
+            walk(n.operand)
+        elif isinstance(n, Op):
+            for operand in n.operands:
+                walk(operand)
+
+    walk(node)
+    return tuple(seen)
+
+
+def evaluate(node: Node, inputs: Sequence[str]) -> TruthTable:
+    """Evaluate ``node`` into a truth table over ``inputs`` (index order)."""
+    index = {name: i for i, name in enumerate(inputs)}
+    if len(index) != len(inputs):
+        raise ExprError("duplicate input names")
+    n = len(inputs)
+
+    def walk(n_: Node) -> TruthTable:
+        if isinstance(n_, Var):
+            if n_.name not in index:
+                raise ExprError(f"unknown variable {n_.name!r}")
+            return TruthTable.input_var(n, index[n_.name])
+        if isinstance(n_, Const):
+            return TruthTable.constant(n, n_.value)
+        if isinstance(n_, Not):
+            return ~walk(n_.operand)
+        if isinstance(n_, Op):
+            result = walk(n_.operands[0])
+            for operand in n_.operands[1:]:
+                other = walk(operand)
+                if n_.kind == "&":
+                    result = result & other
+                elif n_.kind == "|":
+                    result = result | other
+                else:
+                    result = result ^ other
+            return result
+        raise ExprError(f"unknown node {n_!r}")
+
+    return walk(node)
+
+
+def table_from_expr(text: str, inputs: Sequence[str] = ()) -> TruthTable:
+    """One-shot parse + evaluate.
+
+    When ``inputs`` is empty, the variables found in the expression are used
+    in first-appearance order.
+    """
+    node = parse(text)
+    names = tuple(inputs) or variables(node)
+    return evaluate(node, names)

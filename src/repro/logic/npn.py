@@ -1,0 +1,98 @@
+"""NPN canonicalization of small Boolean functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other by
+Negating inputs, Permuting inputs, and/or Negating the output.  Library
+matching in :mod:`repro.synth.techmap` and the component feasibility sets in
+:mod:`repro.core` work on NPN classes so that a cell with free input/output
+polarity (the paper's "with programmable inversion" gates, and a fabric that
+offers both polarities of every signal) matches every function in the class.
+
+Canonicalization is exhaustive (``2^n * n! * 2`` transforms), which is the
+right tool for n <= 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, FrozenSet, Tuple
+
+from .truthtable import TruthTable, all_functions
+
+
+@dataclass(frozen=True)
+class NPNTransform:
+    """One concrete NPN transform.
+
+    Applying the transform to a function ``f`` yields
+    ``g(x) = f(perm/polarity-adjusted x) ^ output_flip``: new input ``i``
+    is old input ``perm[i]``, complemented when bit ``i`` of
+    ``input_flips`` is set.
+    """
+
+    perm: Tuple[int, ...]
+    input_flips: int
+    output_flip: bool
+
+    def apply(self, table: TruthTable) -> TruthTable:
+        result = table.permute(self.perm)
+        for i in range(result.n_inputs):
+            if (self.input_flips >> i) & 1:
+                result = result.flip_input(i)
+        if self.output_flip:
+            result = ~result
+        return result
+
+
+def npn_transforms(n_inputs: int):
+    """Iterate every NPN transform for ``n_inputs`` inputs."""
+    for perm in itertools.permutations(range(n_inputs)):
+        for input_flips in range(1 << n_inputs):
+            for output_flip in (False, True):
+                yield NPNTransform(perm, input_flips, output_flip)
+
+
+def npn_canonical(table: TruthTable) -> TruthTable:
+    """The canonical (minimum-mask) representative of the NPN class."""
+    canon, _ = npn_canonical_with_transform(table)
+    return canon
+
+
+def npn_canonical_with_transform(table: TruthTable) -> Tuple[TruthTable, NPNTransform]:
+    """Canonical representative plus a transform mapping ``table`` to it."""
+    best = None
+    best_transform = None
+    for transform in npn_transforms(table.n_inputs):
+        candidate = transform.apply(table)
+        if best is None or candidate.mask < best.mask:
+            best = candidate
+            best_transform = transform
+    assert best is not None and best_transform is not None
+    return best, best_transform
+
+
+def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """True when ``a`` and ``b`` are in the same NPN class."""
+    if a.n_inputs != b.n_inputs:
+        return False
+    return npn_canonical(a) == npn_canonical(b)
+
+
+def npn_class(table: TruthTable) -> FrozenSet[TruthTable]:
+    """Every function NPN-equivalent to ``table``."""
+    return frozenset(t.apply(table) for t in npn_transforms(table.n_inputs))
+
+
+@lru_cache(maxsize=None)
+def npn_classes(n_inputs: int) -> Tuple[TruthTable, ...]:
+    """All NPN class representatives for ``n_inputs`` inputs, sorted by mask.
+
+    Classic counts: 2 classes for n=1 (constant, identity), 4 for n=2,
+    14 for n=3 — asserted by the test suite.
+    """
+    seen: Dict[int, TruthTable] = {}
+    for table in all_functions(n_inputs):
+        canon = npn_canonical(table)
+        seen.setdefault(canon.mask, canon)
+    return tuple(sorted(seen.values(), key=lambda t: t.mask))

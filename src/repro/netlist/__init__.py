@@ -1,0 +1,40 @@
+"""Gate-level netlist substrate: structure, builder, simulation, I/O."""
+
+from .core import Instance, Net, Netlist, NetlistError
+from .build import CONST0, CONST1, NetlistBuilder, capture_cell, is_capture
+from .simulate import (
+    evaluate_combinational,
+    outputs_equal,
+    random_vectors,
+    simulate,
+    simulate_stream,
+)
+from .stats import NetlistStats, cell_histogram, gather, nand2_equivalents, total_area
+from .validate import check, validate
+from .verilog import read_verilog, write_verilog
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "CONST0",
+    "CONST1",
+    "NetlistBuilder",
+    "capture_cell",
+    "is_capture",
+    "evaluate_combinational",
+    "outputs_equal",
+    "random_vectors",
+    "simulate",
+    "simulate_stream",
+    "NetlistStats",
+    "cell_histogram",
+    "gather",
+    "nand2_equivalents",
+    "total_area",
+    "check",
+    "validate",
+    "read_verilog",
+    "write_verilog",
+]

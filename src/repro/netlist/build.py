@@ -1,0 +1,278 @@
+"""Netlist construction helpers (the "RTL capture" front end).
+
+Design generators describe logic with :class:`NetlistBuilder`, which offers
+named gate helpers (``AND``, ``XOR``, ``MUX``, ``DFF``, ...) over *signals*.
+A signal is either a net name or one of the constant sentinels
+:data:`CONST0` / :data:`CONST1`; constants are folded at build time, so the
+captured netlist never contains tie cells.
+
+Captured gates use on-the-fly *capture cells* — one synthetic
+:class:`~repro.cells.celltypes.CellType` per distinct truth table.  These
+are placeholders: the design flow re-synthesizes every design through the
+AIG and maps it onto the restricted PLB component library, exactly as the
+paper feeds RTL through Design Compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cells.celltypes import CellType, make_dff
+from ..logic.truthtable import TruthTable
+from .core import Netlist, NetlistError
+
+#: Constant-signal sentinels (never valid net names).
+CONST0 = "$const0"
+CONST1 = "$const1"
+
+Signal = str
+
+_CAPTURE_PINS = ("A", "B", "C", "D")
+_capture_cache: Dict[Tuple[int, int], CellType] = {}
+
+
+def capture_cell(table: TruthTable) -> CellType:
+    """The synthetic capture cell realizing exactly ``table``."""
+    if not 1 <= table.n_inputs <= 4:
+        raise NetlistError(f"capture cells support 1..4 inputs, got {table.n_inputs}")
+    key = (table.n_inputs, table.mask)
+    if key not in _capture_cache:
+        pins = _CAPTURE_PINS[: table.n_inputs]
+        _capture_cache[key] = CellType(
+            name=f"CAP{table.n_inputs}_{table.mask:0{1 << table.n_inputs >> 2 or 1}X}",
+            pins=pins,
+            feasible=frozenset({table}),
+            area=4.0 * table.n_inputs,
+            input_caps={pin: 1.0 for pin in pins},
+            logical_effort=1.0 + 0.3 * table.n_inputs,
+            parasitic=float(table.n_inputs),
+        )
+    return _capture_cache[key]
+
+
+def is_capture(cell: CellType) -> bool:
+    """True for synthetic capture cells (names start with ``CAP``)."""
+    return cell.name.startswith("CAP")
+
+
+class NetlistBuilder:
+    """Fluent construction of gate-level netlists with constant folding."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+        self._dff = make_dff()
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> Signal:
+        return self.netlist.add_input(name)
+
+    def input_word(self, name: str, width: int) -> List[Signal]:
+        """``width`` inputs named ``name[i]``, LSB first."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def output(self, signal: Signal, name: Optional[str] = None) -> str:
+        """Mark ``signal`` as a primary output (materializing constants)."""
+        net = self._materialize(signal)
+        if name is not None and name != net:
+            # Outputs need stable names: insert a buffer-like alias via a
+            # 1-input capture identity cell onto a named net.
+            identity = capture_cell(TruthTable.input_var(1, 0))
+            inst = self.netlist.add_instance(
+                identity, {"A": net, "Y": name}, config=TruthTable.input_var(1, 0)
+            )
+            net = inst.output_net
+        self.netlist.add_output(net)
+        return net
+
+    def output_word(self, signals: Sequence[Signal], name: str) -> List[str]:
+        return [self.output(sig, f"{name}[{i}]") for i, sig in enumerate(signals)]
+
+    # ------------------------------------------------------------------
+    # Core gate builder
+    # ------------------------------------------------------------------
+    def gate(self, table: TruthTable, *signals: Signal, name: Optional[str] = None) -> Signal:
+        """Instantiate ``table`` over ``signals``, folding constants.
+
+        Returns the output signal; may return a constant sentinel or an
+        existing signal when the function collapses.
+        """
+        if len(signals) != table.n_inputs:
+            raise NetlistError(
+                f"gate arity mismatch: table has {table.n_inputs} inputs, "
+                f"got {len(signals)} signals"
+            )
+        # Fold constant inputs (highest index first keeps indices valid).
+        live: List[Signal] = list(signals)
+        for index in range(table.n_inputs - 1, -1, -1):
+            if live[index] == CONST0:
+                table = table.cofactor(index, 0)
+                live.pop(index)
+            elif live[index] == CONST1:
+                table = table.cofactor(index, 1)
+                live.pop(index)
+        # Fold duplicate signals: if net appears twice, merge those inputs.
+        index = 0
+        while index < len(live):
+            dup = next(
+                (j for j in range(index + 1, len(live)) if live[j] == live[index]), None
+            )
+            if dup is None:
+                index += 1
+                continue
+            table = _merge_inputs(table, index, dup)
+            live.pop(dup)
+        # Drop non-support inputs.
+        shrunk, kept = table.shrink_to_support()
+        table = shrunk
+        live = [live[i] for i in kept]
+
+        if table.n_inputs == 0:
+            return CONST1 if table.mask else CONST0
+        if table.n_inputs == 1 and table.mask == 0b10:
+            return live[0]
+        cell = capture_cell(table)
+        pin_nets = {pin: live[i] for i, pin in enumerate(cell.pins)}
+        inst = self.netlist.add_instance(cell, pin_nets, config=table, name=name)
+        return inst.output_net
+
+    # ------------------------------------------------------------------
+    # Named gates
+    # ------------------------------------------------------------------
+    def NOT(self, a: Signal) -> Signal:
+        if a == CONST0:
+            return CONST1
+        if a == CONST1:
+            return CONST0
+        return self.gate(~TruthTable.input_var(1, 0), a)
+
+    def _nary(self, op: str, signals: Sequence[Signal]) -> Signal:
+        if not signals:
+            raise NetlistError(f"{op} needs at least one operand")
+        if len(signals) == 1:
+            return signals[0]
+        # Build as a balanced tree of <=3-input gates.
+        level = list(signals)
+        while len(level) > 1:
+            nxt: List[Signal] = []
+            for start in range(0, len(level), 3):
+                chunk = level[start:start + 3]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                    continue
+                n = len(chunk)
+                acc = TruthTable.input_var(n, 0)
+                for i in range(1, n):
+                    var = TruthTable.input_var(n, i)
+                    if op == "AND":
+                        acc = acc & var
+                    elif op == "OR":
+                        acc = acc | var
+                    else:
+                        acc = acc ^ var
+                nxt.append(self.gate(acc, *chunk))
+            level = nxt
+        return level[0]
+
+    def AND(self, *signals: Signal) -> Signal:
+        return self._nary("AND", signals)
+
+    def OR(self, *signals: Signal) -> Signal:
+        return self._nary("OR", signals)
+
+    def XOR(self, *signals: Signal) -> Signal:
+        return self._nary("XOR", signals)
+
+    def NAND(self, *signals: Signal) -> Signal:
+        return self.NOT(self.AND(*signals))
+
+    def NOR(self, *signals: Signal) -> Signal:
+        return self.NOT(self.OR(*signals))
+
+    def XNOR(self, a: Signal, b: Signal) -> Signal:
+        return self.NOT(self.XOR(a, b))
+
+    def MUX(self, select: Signal, d0: Signal, d1: Signal) -> Signal:
+        """``select ? d1 : d0``."""
+        s, a, b = TruthTable.inputs(3)
+        return self.gate(TruthTable.mux(s, a, b), select, d0, d1)
+
+    def AOI21(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        """``~((a & b) | c)`` — a staple of the paper's function mix."""
+        x, y, z = TruthTable.inputs(3)
+        return self.gate(~((x & y) | z), a, b, c)
+
+    def MAJ(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        """Majority — the full-adder carry."""
+        x, y, z = TruthTable.inputs(3)
+        return self.gate((x & y) | (y & z) | (x & z), a, b, c)
+
+    def DFF(self, d: Signal, name: Optional[str] = None) -> Signal:
+        """Clocked register; returns the Q signal."""
+        inst = self.netlist.add_instance(
+            self._dff, {"D": self._materialize(d)}, name=name
+        )
+        return inst.output_net
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _materialize(self, signal: Signal) -> str:
+        """Turn constant sentinels into real one-input gate outputs.
+
+        Constants surviving to a register or output are realized as a
+        constant-generating cell is not available, so we synthesize them
+        from an arbitrary primary input: ``x & ~x`` / ``x | ~x``.
+        """
+        if signal not in (CONST0, CONST1):
+            return signal
+        if not self.netlist.inputs:
+            raise NetlistError("cannot materialize a constant with no inputs")
+        seed = self.netlist.inputs[0]
+        table = TruthTable(1, 0b11 if signal == CONST1 else 0b00)
+        cell = _const_cell(signal == CONST1)
+        inst = self.netlist.add_instance(cell, {"A": seed}, config=table)
+        return inst.output_net
+
+
+def _merge_inputs(table: TruthTable, keep: int, drop: int) -> TruthTable:
+    """Identify input ``drop`` with input ``keep`` (same driving signal)."""
+    if keep == drop:
+        raise NetlistError("cannot merge an input with itself")
+    n = table.n_inputs
+    new_n = n - 1
+    mask = 0
+    for new_row in range(1 << new_n):
+        # Expand the new row back to the old input space: inputs below
+        # ``drop`` keep their index, those at or above shift up by one.
+        old_row = 0
+        for new_i in range(new_n):
+            old_i = new_i if new_i < drop else new_i + 1
+            if (new_row >> new_i) & 1:
+                old_row |= 1 << old_i
+        keep_old = keep if keep < drop else keep + 1
+        if (old_row >> keep_old) & 1:
+            old_row |= 1 << drop
+        if (table.mask >> old_row) & 1:
+            mask |= 1 << new_row
+    return TruthTable(new_n, mask)
+
+
+_const_cells: Dict[bool, CellType] = {}
+
+
+def _const_cell(value: bool) -> CellType:
+    """A one-input cell that ignores its input and outputs a constant."""
+    if value not in _const_cells:
+        table = TruthTable(1, 0b11 if value else 0b00)
+        _const_cells[value] = CellType(
+            name=f"CAPTIE{int(value)}",
+            pins=("A",),
+            feasible=frozenset({table}),
+            area=3.0,
+            input_caps={"A": 0.1},
+            logical_effort=0.1,
+            parasitic=0.5,
+        )
+    return _const_cells[value]

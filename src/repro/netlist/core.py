@@ -1,0 +1,300 @@
+"""Gate-level netlist data structure.
+
+A :class:`Netlist` is a flat (non-hierarchical) network of cell instances
+connected by nets, with named primary inputs and outputs and an implicit
+single clock for all DFFs.  Every combinational instance carries its
+concrete *configuration*: the truth table (over its input pins, in pin
+order) that its via pattern realizes.  This keeps simulation exact across
+every flow stage — technology mapping, compaction, packing and buffering
+are all checked for functional equivalence by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..cells.celltypes import CellType
+from ..logic.truthtable import TruthTable
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist operations."""
+
+
+@dataclass
+class Net:
+    """A single-driver signal.
+
+    ``driver`` is ``None`` for primary inputs and for undriven (floating)
+    nets — validation flags the latter.  ``sinks`` lists ``(cell_name,
+    pin)`` loads; primary outputs are tracked on the netlist.
+    """
+
+    name: str
+    driver: Optional[Tuple[str, str]] = None
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+    is_input: bool = False
+
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+@dataclass
+class Instance:
+    """A placed-or-not cell instance.
+
+    ``config`` is the realized truth table for combinational cells (always a
+    member of ``cell.feasible``); ``None`` for the DFF.
+    """
+
+    name: str
+    cell: CellType
+    pin_nets: Dict[str, str]
+    config: Optional[TruthTable] = None
+
+    def __post_init__(self):
+        missing = set(self.cell.pins) - set(self.pin_nets)
+        extra = set(self.pin_nets) - set(self.cell.pins) - {self.cell.output_pin}
+        if missing:
+            raise NetlistError(f"{self.name}: unconnected pins {sorted(missing)}")
+        if extra:
+            raise NetlistError(f"{self.name}: unknown pins {sorted(extra)}")
+        if self.cell.is_sequential:
+            if self.config is not None:
+                raise NetlistError(f"{self.name}: sequential cells take no config")
+        else:
+            if self.config is None:
+                raise NetlistError(f"{self.name}: combinational cells need a config")
+            if self.cell.feasible is not None and not self.cell.can_implement(self.config):
+                raise NetlistError(
+                    f"{self.name}: cell {self.cell.name} cannot realize the "
+                    f"requested configuration {self.config!r}"
+                )
+
+    @property
+    def output_net(self) -> str:
+        return self.pin_nets[self.cell.output_pin]
+
+    def input_nets(self) -> Tuple[str, ...]:
+        return tuple(self.pin_nets[pin] for pin in self.cell.pins)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.is_sequential
+
+
+class Netlist:
+    """A flat gate-level network with single-driver nets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nets: Dict[str, Net] = {}
+        self.instances: Dict[str, Instance] = {}
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def fresh_name(self, prefix: str) -> str:
+        """A name not yet used by any net or instance."""
+        while True:
+            self._counter += 1
+            name = f"{prefix}_{self._counter}"
+            if name not in self.nets and name not in self.instances:
+                return name
+
+    def add_net(self, name: Optional[str] = None) -> str:
+        name = name or self.fresh_name("n")
+        if name in self.nets:
+            raise NetlistError(f"net {name!r} already exists")
+        self.nets[name] = Net(name)
+        return name
+
+    def add_input(self, name: str) -> str:
+        net_name = self.add_net(name)
+        self.nets[net_name].is_input = True
+        self.inputs.append(net_name)
+        return net_name
+
+    def add_output(self, net_name: str) -> None:
+        if net_name not in self.nets:
+            raise NetlistError(f"no net {net_name!r} to mark as output")
+        if net_name in self.outputs:
+            raise NetlistError(f"net {net_name!r} is already an output")
+        self.outputs.append(net_name)
+
+    def add_instance(
+        self,
+        cell: CellType,
+        pin_nets: Dict[str, str],
+        config: Optional[TruthTable] = None,
+        name: Optional[str] = None,
+    ) -> Instance:
+        """Add an instance; the output pin may name a new or existing net."""
+        name = name or self.fresh_name(cell.name.lower())
+        if name in self.instances:
+            raise NetlistError(f"instance {name!r} already exists")
+        out_pin = cell.output_pin
+        if out_pin not in pin_nets:
+            pin_nets = dict(pin_nets)
+            pin_nets[out_pin] = self.add_net()
+        inst = Instance(name=name, cell=cell, pin_nets=pin_nets, config=config)
+        out_net = pin_nets[out_pin]
+        if out_net not in self.nets:
+            self.add_net(out_net)
+        net = self.nets[out_net]
+        if net.driver is not None or net.is_input:
+            raise NetlistError(f"net {out_net!r} already driven")
+        net.driver = (name, out_pin)
+        for pin in cell.pins:
+            in_net = pin_nets[pin]
+            if in_net not in self.nets:
+                raise NetlistError(f"instance {name!r} pin {pin} uses unknown net {in_net!r}")
+            self.nets[in_net].sinks.append((name, pin))
+        self.instances[name] = inst
+        return inst
+
+    def remove_instance(self, name: str) -> None:
+        """Remove an instance, leaving its output net undriven."""
+        inst = self.instances.pop(name)
+        out_net = self.nets[inst.output_net]
+        out_net.driver = None
+        for pin in inst.cell.pins:
+            self.nets[inst.pin_nets[pin]].sinks.remove((name, pin))
+
+    def remove_net(self, name: str) -> None:
+        net = self.nets[name]
+        if net.driver is not None or net.sinks or net.is_input or name in self.outputs:
+            raise NetlistError(f"net {name!r} is still in use")
+        del self.nets[name]
+
+    def rename_net(self, old: str, new: str) -> None:
+        """Rename a net, updating every driver/sink/port reference."""
+        if new in self.nets:
+            raise NetlistError(f"net {new!r} already exists")
+        net = self.nets.pop(old)
+        net.name = new
+        self.nets[new] = net
+        if net.driver is not None:
+            inst_name, pin = net.driver
+            self.instances[inst_name].pin_nets[pin] = new
+        for inst_name, pin in net.sinks:
+            self.instances[inst_name].pin_nets[pin] = new
+        self.inputs = [new if name == old else name for name in self.inputs]
+        self.outputs = [new if name == old else name for name in self.outputs]
+
+    def rewire_sink(self, cell_name: str, pin: str, new_net: str) -> None:
+        """Move one instance input pin to a different net."""
+        inst = self.instances[cell_name]
+        old_net = inst.pin_nets[pin]
+        self.nets[old_net].sinks.remove((cell_name, pin))
+        inst.pin_nets[pin] = new_net
+        self.nets[new_net].sinks.append((cell_name, pin))
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def driver_of(self, net_name: str) -> Optional[Instance]:
+        driver = self.nets[net_name].driver
+        return self.instances[driver[0]] if driver else None
+
+    def combinational_instances(self) -> Iterator[Instance]:
+        return (i for i in self.instances.values() if not i.is_sequential)
+
+    def sequential_instances(self) -> Iterator[Instance]:
+        return (i for i in self.instances.values() if i.is_sequential)
+
+    def topological_order(self) -> List[Instance]:
+        """Combinational instances in dependency order.
+
+        DFF outputs and primary inputs are sources; DFF inputs are sinks.
+        Raises :class:`NetlistError` on combinational cycles.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for inst in self.combinational_instances():
+            count = 0
+            for net_name in inst.input_nets():
+                driver = self.driver_of(net_name)
+                if driver is not None and not driver.is_sequential:
+                    count += 1
+                    dependents.setdefault(driver.name, []).append(inst.name)
+            indegree[inst.name] = count
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[Instance] = []
+        seen: Set[str] = set()
+        queue = list(ready)
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            order.append(self.instances[name])
+            for dep in dependents.get(name, ()):  # pragma: no branch
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(indegree):
+            raise NetlistError(f"{self.name}: combinational cycle detected")
+        return order
+
+    def transitive_fanin(self, net_name: str) -> Set[str]:
+        """Instance names feeding ``net_name`` through combinational logic."""
+        result: Set[str] = set()
+        stack = [net_name]
+        while stack:
+            current = stack.pop()
+            driver = self.driver_of(current)
+            if driver is None or driver.name in result:
+                continue
+            result.add(driver.name)
+            if not driver.is_sequential:
+                stack.extend(driver.input_nets())
+        return result
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+    def sweep_dangling(self) -> int:
+        """Remove instances whose output drives nothing; returns count."""
+        removed = 0
+        while True:
+            dead = [
+                inst.name
+                for inst in self.instances.values()
+                if not self.nets[inst.output_net].sinks
+                and inst.output_net not in self.outputs
+            ]
+            if not dead:
+                return removed
+            for name in dead:
+                out_net = self.instances[name].output_net
+                self.remove_instance(name)
+                self.remove_net(out_net)
+                removed += 1
+
+    def copy(self) -> "Netlist":
+        """Deep copy (cells are shared; they are immutable)."""
+        clone = Netlist(self.name)
+        clone._counter = self._counter
+        for name in self.inputs:
+            clone.add_input(name)
+        for net_name in self.nets:
+            if net_name not in clone.nets:
+                clone.add_net(net_name)
+        for inst in self.instances.values():
+            clone.add_instance(
+                inst.cell, dict(inst.pin_nets), config=inst.config, name=inst.name
+            )
+        for net_name in self.outputs:
+            clone.add_output(net_name)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}: {len(self.instances)} instances, "
+            f"{len(self.nets)} nets, {len(self.inputs)} in, {len(self.outputs)} out)"
+        )

@@ -1,0 +1,82 @@
+"""Netlist statistics: gate counts, areas, NAND2 equivalents.
+
+The paper reports design size "in units of equivalent 2-input Nand gates";
+:func:`nand2_equivalents` reproduces that accounting using the ND2WI cell
+area as the unit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cells.celltypes import make_nd2wi
+from .core import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics for one netlist."""
+
+    name: str
+    n_instances: int
+    n_combinational: int
+    n_sequential: int
+    n_nets: int
+    n_inputs: int
+    n_outputs: int
+    total_area: float
+    combinational_area: float
+    sequential_area: float
+    nand2_equivalents: float
+    cell_histogram: Dict[str, int]
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Share of instances that are DFFs — the paper's Firewire axis."""
+        if self.n_instances == 0:
+            return 0.0
+        return self.n_sequential / self.n_instances
+
+
+def cell_histogram(netlist: Netlist) -> Dict[str, int]:
+    """Instance count per cell type name."""
+    return dict(Counter(inst.cell.name for inst in netlist.instances.values()))
+
+
+def total_area(netlist: Netlist) -> float:
+    """Sum of instance cell areas (um^2)."""
+    return sum(inst.cell.area for inst in netlist.instances.values())
+
+
+def nand2_equivalents(netlist: Netlist) -> float:
+    """Design size in equivalent 2-input NAND gates (by area)."""
+    unit = make_nd2wi().area
+    return total_area(netlist) / unit
+
+
+def gather(netlist: Netlist) -> NetlistStats:
+    """Compute all statistics for ``netlist``."""
+    comb_area = sum(
+        inst.cell.area for inst in netlist.instances.values() if not inst.is_sequential
+    )
+    seq_area = sum(
+        inst.cell.area for inst in netlist.instances.values() if inst.is_sequential
+    )
+    n_seq = sum(1 for _ in netlist.sequential_instances())
+    n_inst = len(netlist.instances)
+    return NetlistStats(
+        name=netlist.name,
+        n_instances=n_inst,
+        n_combinational=n_inst - n_seq,
+        n_sequential=n_seq,
+        n_nets=len(netlist.nets),
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        total_area=comb_area + seq_area,
+        combinational_area=comb_area,
+        sequential_area=seq_area,
+        nand2_equivalents=(comb_area + seq_area) / make_nd2wi().area,
+        cell_histogram=cell_histogram(netlist),
+    )

@@ -1,0 +1,111 @@
+"""Structural Verilog export/import for flow artifacts.
+
+Writes a flat structural module using the component-cell names, with each
+instance's via configuration recorded as a ``CONFIG`` attribute comment so
+a round trip is lossless.  The reader accepts only what the writer emits
+(this is an interchange format for this repository, not a Verilog parser).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO
+
+from ..cells.library import Library
+from ..logic.truthtable import TruthTable
+from .core import Netlist, NetlistError
+
+_ID_RE = r"[A-Za-z_$][A-Za-z0-9_$\[\]]*"
+_INST_RE = re.compile(
+    rf"^\s*(?P<cell>{_ID_RE})\s+(?P<name>{_ID_RE})\s*\((?P<conns>.*)\)\s*;"
+    rf"\s*(?://\s*CONFIG\s+(?P<config>\d+):(?P<mask>\d+))?\s*$"
+)
+_CONN_RE = re.compile(rf"\.\s*(?P<pin>{_ID_RE})\s*\(\s*(?P<net>{_ID_RE})\s*\)")
+
+
+def _escape(name: str) -> str:
+    """Verilog-escape names containing brackets (bus bits)."""
+    return name
+
+
+def write_verilog(netlist: Netlist, stream: TextIO) -> None:
+    """Write ``netlist`` as a flat structural module."""
+    ports = [_escape(p) for p in netlist.inputs + netlist.outputs]
+    stream.write(f"module {netlist.name} ({', '.join(ports)});\n")
+    for name in netlist.inputs:
+        stream.write(f"  input {_escape(name)};\n")
+    for name in netlist.outputs:
+        stream.write(f"  output {_escape(name)};\n")
+    port_nets = set(netlist.inputs) | set(netlist.outputs)
+    for name in netlist.nets:
+        if name not in port_nets:
+            stream.write(f"  wire {_escape(name)};\n")
+    for inst in netlist.instances.values():
+        conns = [f".{pin}({_escape(net)})" for pin, net in sorted(inst.pin_nets.items())]
+        line = f"  {inst.cell.name} {_escape(inst.name)} ({', '.join(conns)});"
+        if inst.config is not None:
+            line += f" // CONFIG {inst.config.n_inputs}:{inst.config.mask}"
+        stream.write(line + "\n")
+    stream.write("endmodule\n")
+
+
+def read_verilog(stream: TextIO, library: Library) -> Netlist:
+    """Read a module written by :func:`write_verilog`."""
+    netlist: Netlist = None  # type: ignore[assignment]
+    declared_outputs: List[str] = []
+    pending_instances: List[Dict] = []
+    wires: List[str] = []
+
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith("module"):
+            name = line.split()[1].split("(")[0]
+            netlist = Netlist(name)
+            continue
+        if netlist is None:
+            raise NetlistError("instance before module header")
+        if line.startswith("input"):
+            netlist.add_input(line.split(None, 1)[1].rstrip(";").strip())
+            continue
+        if line.startswith("output"):
+            declared_outputs.append(line.split(None, 1)[1].rstrip(";").strip())
+            continue
+        if line.startswith("wire"):
+            wires.append(line.split(None, 1)[1].rstrip(";").strip())
+            continue
+        if line.startswith("endmodule"):
+            break
+        match = _INST_RE.match(line)
+        if match is None:
+            raise NetlistError(f"unparseable line: {line!r}")
+        pin_nets = {
+            conn.group("pin"): conn.group("net")
+            for conn in _CONN_RE.finditer(match.group("conns"))
+        }
+        config = None
+        if match.group("config") is not None:
+            config = TruthTable(int(match.group("config")), int(match.group("mask")))
+        pending_instances.append(
+            {
+                "cell": match.group("cell"),
+                "name": match.group("name"),
+                "pin_nets": pin_nets,
+                "config": config,
+            }
+        )
+
+    if netlist is None:
+        raise NetlistError("no module found")
+    for wire in wires + declared_outputs:
+        if wire not in netlist.nets:
+            netlist.add_net(wire)
+    for spec in pending_instances:
+        cell = library.cell(spec["cell"])
+        netlist.add_instance(
+            cell, spec["pin_nets"], config=spec["config"], name=spec["name"]
+        )
+    for out in declared_outputs:
+        netlist.add_output(out)
+    return netlist

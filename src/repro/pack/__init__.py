@@ -1,0 +1,18 @@
+"""Packing substrate: PLB resources, quadrisection, iterative legalization."""
+
+from .resources import PackingError, SlotPool, min_plbs, region_fits, size_array
+from .quadrisection import PackingResult, SlotAssignment, pack
+from .iterative import PackedDesign, run_packing_loop
+
+__all__ = [
+    "PackingError",
+    "SlotPool",
+    "min_plbs",
+    "region_fits",
+    "size_array",
+    "PackingResult",
+    "SlotAssignment",
+    "pack",
+    "PackedDesign",
+    "run_packing_loop",
+]

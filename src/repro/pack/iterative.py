@@ -1,0 +1,86 @@
+"""The packing <-> physical-synthesis iteration (paper Section 3.1).
+
+"In order to further minimize the loss in performance due to the motion of
+the component cells, we use the packing algorithm in an iterative loop
+with the physical synthesis tool. ... This iteration loop is repeated
+until all the components have been allotted legal locations in the PLB
+array."
+
+Each iteration packs from the current placement, derives cell
+criticalities from post-pack timing, re-runs buffer insertion where the
+packed wiring overloads drivers, and feeds the updated criticalities back
+into the next packing pass, so critical cells are perturbed least.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cells.characterize import TimingLibrary
+from ..cells.library import Library
+from ..core.plb import PLBArchitecture
+from ..netlist.core import Netlist
+from ..place.buffers import insert_buffers
+from ..place.sa import Placement
+from ..timing.sta import TimingReport, analyze
+from ..timing.wires import WireModel, wire_model_from_placement
+from .quadrisection import PackingResult, pack
+from .resources import size_array
+
+
+@dataclass
+class PackedDesign:
+    """Final legalized design on the PLB array."""
+
+    netlist: Netlist
+    packing: PackingResult
+    wires: WireModel
+    timing: TimingReport
+
+    @property
+    def die_area(self) -> float:
+        return self.packing.die_area
+
+
+def run_packing_loop(
+    netlist: Netlist,
+    placement: Placement,
+    arch: PLBArchitecture,
+    library: Library,
+    timing_library: TimingLibrary,
+    period: float,
+    iterations: int = 2,
+    headroom: float = 1.15,
+) -> PackedDesign:
+    """Legalize ``netlist`` into a PLB array; returns the packed design.
+
+    Mutates ``netlist`` when buffer re-insertion is required.
+    """
+    cols, rows = size_array(arch, netlist, headroom=headroom)
+    criticality: Dict[str, float] = {}
+    packing: Optional[PackingResult] = None
+    wires: Optional[WireModel] = None
+    report: Optional[TimingReport] = None
+
+    for iteration in range(max(1, iterations)):
+        packing = pack(netlist, placement, arch, cols, rows, criticality)
+        wires = wire_model_from_placement(packing.net_pin_points(netlist))
+        report = analyze(netlist, timing_library, wires, period=period)
+        if iteration == max(1, iterations) - 1:
+            break
+        # Criticality per cell: worst arrival fraction of its output net.
+        worst = report.critical_path_delay or 1.0
+        criticality = {
+            inst.name: min(1.0, report.arrival.get(inst.output_net, 0.0) / worst)
+            for inst in netlist.instances.values()
+        }
+        # "redo buffer insertion ... where necessary" — packed wiring may
+        # overload drivers the ASIC placement did not.
+        added = insert_buffers(netlist, library, placement=None)
+        if added:
+            # Array may need to grow for the new buffers.
+            cols, rows = size_array(arch, netlist, headroom=headroom)
+
+    assert packing is not None and wires is not None and report is not None
+    return PackedDesign(netlist=netlist, packing=packing, wires=wires, timing=report)

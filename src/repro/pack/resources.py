@@ -1,0 +1,109 @@
+"""PLB resource accounting for packing.
+
+Maps netlist cell instances onto PLB component slots using the
+architecture's compatibility table (e.g. an ND2WI occupies an ND3WI slot,
+or — in the granular PLB — any mux slot, the flexibility paper Section 3.2
+credits for its packing-efficiency win).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.plb import PLBArchitecture
+from ..netlist.core import Instance, Netlist
+
+
+class PackingError(RuntimeError):
+    """Raised when a design cannot fit the PLB array."""
+
+
+@dataclass
+class SlotPool:
+    """Slot occupancy for one PLB (or one region of PLBs)."""
+
+    capacity: Dict[str, int]
+    used: Dict[str, int] = field(default_factory=dict)
+
+    def free(self, slot: str) -> int:
+        return self.capacity.get(slot, 0) - self.used.get(slot, 0)
+
+    def take(self, slot: str) -> None:
+        if self.free(slot) <= 0:
+            raise PackingError(f"slot {slot} exhausted")
+        self.used[slot] = self.used.get(slot, 0) + 1
+
+    def release(self, slot: str) -> None:
+        self.used[slot] = self.used.get(slot, 0) - 1
+
+    def can_host(self, arch: PLBArchitecture, cell_name: str) -> Optional[str]:
+        """First compatible slot with space, in preference order."""
+        for slot in arch.hosting_slots(cell_name):
+            if self.free(slot) > 0:
+                return slot
+        return None
+
+    @staticmethod
+    def for_plbs(arch: PLBArchitecture, n_plbs: int) -> "SlotPool":
+        return SlotPool(capacity={s: c * n_plbs for s, c in arch.slots.items()})
+
+
+def region_fits(
+    arch: PLBArchitecture, instances: Sequence[Instance], n_plbs: int
+) -> bool:
+    """Greedy feasibility: can these instances fit ``n_plbs`` PLBs?
+
+    Cells with the fewest compatible slots are placed first (most
+    constrained first), which is exact for the small compatibility tables
+    here.
+    """
+    pool = SlotPool.for_plbs(arch, n_plbs)
+    ordered = sorted(
+        instances, key=lambda inst: len(arch.hosting_slots(inst.cell.name))
+    )
+    for inst in ordered:
+        slot = pool.can_host(arch, inst.cell.name)
+        if slot is None:
+            return False
+        pool.take(slot)
+    return True
+
+
+def min_plbs(arch: PLBArchitecture, netlist: Netlist) -> int:
+    """Smallest PLB count whose aggregate resources fit ``netlist``."""
+    instances = list(netlist.instances.values())
+    unhostable = [
+        inst.cell.name for inst in instances if not arch.hosting_slots(inst.cell.name)
+    ]
+    if unhostable:
+        raise PackingError(
+            f"architecture {arch.name!r} cannot host cells: {sorted(set(unhostable))}"
+        )
+    low, high = 1, max(1, len(instances))
+    if not region_fits(arch, instances, high):
+        raise PackingError("design does not fit even one PLB per instance")
+    while low < high:
+        mid = (low + high) // 2
+        if region_fits(arch, instances, mid):
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+def size_array(
+    arch: PLBArchitecture, netlist: Netlist, headroom: float = 1.1
+) -> Tuple[int, int]:
+    """Near-square PLB array dimensions with packing headroom.
+
+    The paper implements each design "onto an gate-array of regular PLBs";
+    we size the array per design: the smallest near-square rectangle (at
+    most one row of aspect slack) with ``headroom`` over the resource
+    lower bound, so packing has room to preserve placement locality.
+    """
+    needed = max(1, math.ceil(min_plbs(arch, netlist) * headroom))
+    cols = max(1, math.ceil(math.sqrt(needed)))
+    rows = max(1, math.ceil(needed / cols))
+    return cols, rows

@@ -1,0 +1,25 @@
+"""Physical synthesis substrate: grids, SA placement, buffering."""
+
+from .grid import DEFAULT_UTILIZATION, PlacementGrid, Site, grid_for_netlist
+from .sa import AnnealingPlacer, Placement
+from .buffers import insert_buffers
+from .physical_synthesis import (
+    PhysicalResult,
+    TIMING_WEIGHT,
+    net_criticalities,
+    run_physical_synthesis,
+)
+
+__all__ = [
+    "DEFAULT_UTILIZATION",
+    "PlacementGrid",
+    "Site",
+    "grid_for_netlist",
+    "AnnealingPlacer",
+    "Placement",
+    "insert_buffers",
+    "PhysicalResult",
+    "TIMING_WEIGHT",
+    "net_criticalities",
+    "run_physical_synthesis",
+]

@@ -1,0 +1,112 @@
+"""Placement grids.
+
+Flow *a* places component cells on a uniform site grid (standard-cell
+style, sized from total cell area and a utilization target); flow *b*
+targets the PLB array, whose tile geometry comes from the architecture.
+Both expose site -> micron coordinates for wirelength and timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..netlist.core import Netlist
+
+#: Standard-cell utilization target for flow a die sizing.
+DEFAULT_UTILIZATION = 0.70
+
+#: Per-instance fixed area overhead in a standard-cell row (pin access,
+#: spacing, well taps), um^2.  Small cells pay proportionally more, as in
+#: a real row-based layout.
+CELL_OVERHEAD_UM2 = 3.0
+
+Site = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlacementGrid:
+    """A rectangular grid of placement sites.
+
+    ``pitch`` is the site pitch in um (sites are square).  I/O pads sit on
+    the boundary ring just outside the core.
+    """
+
+    cols: int
+    rows: int
+    pitch: float
+
+    @property
+    def n_sites(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def width_um(self) -> float:
+        return self.cols * self.pitch
+
+    @property
+    def height_um(self) -> float:
+        return self.rows * self.pitch
+
+    @property
+    def area_um2(self) -> float:
+        return self.width_um * self.height_um
+
+    def center_of(self, site: Site) -> Tuple[float, float]:
+        col, row = site
+        return ((col + 0.5) * self.pitch, (row + 0.5) * self.pitch)
+
+    def sites(self) -> Iterator[Site]:
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield (col, row)
+
+    def contains(self, site: Site) -> bool:
+        col, row = site
+        return 0 <= col < self.cols and 0 <= row < self.rows
+
+    def clamp(self, col: int, row: int) -> Site:
+        return (max(0, min(self.cols - 1, col)), max(0, min(self.rows - 1, row)))
+
+    def pad_positions(self, names: List[str]) -> Dict[str, Tuple[float, float]]:
+        """Spread I/O pads evenly around the perimeter, in name order."""
+        perimeter = 2.0 * (self.width_um + self.height_um)
+        positions: Dict[str, Tuple[float, float]] = {}
+        n = max(1, len(names))
+        for i, name in enumerate(names):
+            distance = (i + 0.5) * perimeter / n
+            positions[name] = self._perimeter_point(distance)
+        return positions
+
+    def _perimeter_point(self, distance: float) -> Tuple[float, float]:
+        w, h = self.width_um, self.height_um
+        if distance < w:
+            return (distance, 0.0)
+        distance -= w
+        if distance < h:
+            return (w, distance)
+        distance -= h
+        if distance < w:
+            return (w - distance, h)
+        distance -= w
+        return (0.0, h - distance)
+
+
+def grid_for_netlist(
+    netlist: Netlist, utilization: float = DEFAULT_UTILIZATION
+) -> PlacementGrid:
+    """Size a standard-cell site grid for flow a.
+
+    One site per instance; pitch from the average cell footprint inflated
+    by the utilization target, so grid area ~= cell area / utilization.
+    """
+    n = max(1, len(netlist.instances))
+    total_area = sum(
+        inst.cell.area + CELL_OVERHEAD_UM2 for inst in netlist.instances.values()
+    )
+    avg_cell = total_area / n
+    pitch = math.sqrt(avg_cell / utilization)
+    cols = max(2, math.ceil(math.sqrt(n)))
+    rows = max(2, math.ceil(n / cols))
+    return PlacementGrid(cols=cols, rows=rows, pitch=pitch)

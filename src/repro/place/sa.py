@@ -1,0 +1,238 @@
+"""Simulated-annealing placement (VPR-style adaptive schedule).
+
+Cost is criticality-weighted half-perimeter wirelength.  Moves swap a
+random instance with another instance or an empty site within an adaptive
+range window; the schedule follows the classic VPR recipe (temperature
+from initial cost spread, cooling rate adapted to the acceptance ratio,
+exit when temperature is a tiny fraction of cost-per-net).
+
+The placer is deterministic for a given seed and supports *locked*
+instances (used by the packing <-> physical-synthesis iteration of paper
+Section 3.1, where legalized cells keep their PLB positions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..netlist.core import Netlist
+from .grid import PlacementGrid, Site
+
+#: Moves per temperature = MOVES_PER_CELL * n_cells ** 1.33, capped.
+MOVES_PER_CELL = 1.0
+MOVE_CAP_PER_TEMPERATURE = 40_000
+
+
+@dataclass
+class Placement:
+    """Instance -> site assignment plus pad positions."""
+
+    grid: PlacementGrid
+    sites: Dict[str, Site]
+    pads: Dict[str, Tuple[float, float]]
+
+    def position_of(self, inst_name: str) -> Tuple[float, float]:
+        return self.grid.center_of(self.sites[inst_name])
+
+    def net_pin_points(self, netlist: Netlist) -> Dict[str, List[Tuple[float, float]]]:
+        """Pin coordinates per net (driver, sinks, and pads)."""
+        points: Dict[str, List[Tuple[float, float]]] = {
+            name: [] for name in netlist.nets
+        }
+        for name, net in netlist.nets.items():
+            if net.driver is not None:
+                points[name].append(self.position_of(net.driver[0]))
+            elif name in self.pads:
+                points[name].append(self.pads[name])
+            for sink_name, _pin in net.sinks:
+                points[name].append(self.position_of(sink_name))
+            if name in self.pads and net.driver is not None:
+                points[name].append(self.pads[name])
+        return points
+
+
+def _net_bbox_cost(points: List[Tuple[float, float]], weight: float) -> float:
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+
+
+class AnnealingPlacer:
+    """Criticality-weighted HPWL simulated annealing."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        grid: PlacementGrid,
+        net_weights: Optional[Mapping[str, float]] = None,
+        seed: int = 0,
+        locked: Optional[Mapping[str, Site]] = None,
+        effort: float = 1.0,
+    ):
+        self.netlist = netlist
+        self.grid = grid
+        self.rng = random.Random(seed)
+        self.net_weights = dict(net_weights or {})
+        self.locked = dict(locked or {})
+        self.effort = effort
+
+        self._instances = list(netlist.instances)
+        self._movable = [n for n in self._instances if n not in self.locked]
+        if grid.n_sites < len(self._instances):
+            raise ValueError(
+                f"grid has {grid.n_sites} sites for {len(self._instances)} instances"
+            )
+
+        # Net membership per instance for incremental cost updates.
+        self._nets_of: Dict[str, List[str]] = {name: [] for name in self._instances}
+        for net_name, net in netlist.nets.items():
+            members: Set[str] = set()
+            if net.driver is not None:
+                members.add(net.driver[0])
+            for sink_name, _pin in net.sinks:
+                members.add(sink_name)
+            for member in members:
+                self._nets_of[member].append(net_name)
+
+        self.pads = grid.pad_positions(list(netlist.inputs) + list(netlist.outputs))
+
+    # ------------------------------------------------------------------
+    def _initial_sites(self) -> Dict[str, Site]:
+        sites: Dict[str, Site] = dict(self.locked)
+        taken = set(self.locked.values())
+        free = [site for site in self.grid.sites() if site not in taken]
+        self.rng.shuffle(free)
+        for name in self._movable:
+            sites[name] = free.pop()
+        return sites
+
+    def _net_points(
+        self, sites: Dict[str, Site], net_name: str
+    ) -> List[Tuple[float, float]]:
+        net = self.netlist.nets[net_name]
+        points: List[Tuple[float, float]] = []
+        if net.driver is not None:
+            points.append(self.grid.center_of(sites[net.driver[0]]))
+        if net_name in self.pads:
+            points.append(self.pads[net_name])
+        for sink_name, _pin in net.sinks:
+            points.append(self.grid.center_of(sites[sink_name]))
+        return points
+
+    def _net_cost(self, sites: Dict[str, Site], net_name: str) -> float:
+        weight = 1.0 + self.net_weights.get(net_name, 0.0)
+        return _net_bbox_cost(self._net_points(sites, net_name), weight)
+
+    # ------------------------------------------------------------------
+    def place(self) -> Placement:
+        sites = self._initial_sites()
+        occupant: Dict[Site, Optional[str]] = {s: None for s in self.grid.sites()}
+        for name, site in sites.items():
+            occupant[site] = name
+
+        net_cost = {name: self._net_cost(sites, name) for name in self.netlist.nets}
+        total = sum(net_cost.values())
+
+        if not self._movable:
+            return Placement(grid=self.grid, sites=sites, pads=self.pads)
+
+        n = len(self._movable)
+        moves_per_t = min(
+            MOVE_CAP_PER_TEMPERATURE,
+            max(200, int(self.effort * MOVES_PER_CELL * n ** 1.33)),
+        )
+
+        # Initial temperature: std-dev of cost over random perturbations.
+        samples = []
+        for _ in range(min(100, moves_per_t)):
+            delta, undo = self._try_move(sites, occupant, net_cost, self.grid.cols)
+            samples.append(abs(delta))
+            if undo is not None:
+                total += delta
+        temperature = 20.0 * (sum(samples) / max(1, len(samples)) or 1.0)
+
+        range_limit = float(max(self.grid.cols, self.grid.rows))
+        min_temperature = 0.005 * total / max(1, len(self.netlist.nets))
+        while temperature > max(min_temperature, 1e-9):
+            accepted = 0
+            for _ in range(moves_per_t):
+                delta, undo = self._try_move(
+                    sites, occupant, net_cost, int(max(1, range_limit))
+                )
+                if undo is None:
+                    continue
+                if delta <= 0 or self.rng.random() < math.exp(-delta / temperature):
+                    total += delta
+                    accepted += 1
+                else:
+                    undo()
+            ratio = accepted / max(1, moves_per_t)
+            # VPR schedule.
+            if ratio > 0.96:
+                temperature *= 0.5
+            elif ratio > 0.8:
+                temperature *= 0.9
+            elif ratio > 0.15:
+                temperature *= 0.95
+            else:
+                temperature *= 0.8
+            range_limit = max(1.0, range_limit * (1.0 - 0.44 + ratio))
+            if ratio < 0.01 and temperature < min_temperature * 10:
+                break
+
+        return Placement(grid=self.grid, sites=sites, pads=self.pads)
+
+    # ------------------------------------------------------------------
+    def _try_move(
+        self,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+        net_cost: Dict[str, float],
+        range_limit: int,
+    ):
+        """Propose one move; returns (delta, undo) — undo None if invalid.
+
+        The move is applied optimistically; call ``undo()`` to reject.
+        """
+        mover = self._movable[self.rng.randrange(len(self._movable))]
+        old_site = sites[mover]
+        col = old_site[0] + self.rng.randint(-range_limit, range_limit)
+        row = old_site[1] + self.rng.randint(-range_limit, range_limit)
+        new_site = self.grid.clamp(col, row)
+        if new_site == old_site:
+            return 0.0, None
+        other = occupant[new_site]
+        if other is not None and other in self.locked:
+            return 0.0, None
+
+        affected = set(self._nets_of[mover])
+        if other is not None:
+            affected |= set(self._nets_of[other])
+        before = sum(net_cost[net] for net in affected)
+
+        sites[mover] = new_site
+        occupant[new_site] = mover
+        occupant[old_site] = other
+        if other is not None:
+            sites[other] = old_site
+
+        new_costs = {net: self._net_cost(sites, net) for net in affected}
+        after = sum(new_costs.values())
+        for net, cost in new_costs.items():
+            net_cost[net] = cost
+
+        def undo():
+            sites[mover] = old_site
+            occupant[old_site] = mover
+            occupant[new_site] = other
+            if other is not None:
+                sites[other] = new_site
+            for net in affected:
+                net_cost[net] = self._net_cost(sites, net)
+
+        return after - before, undo

@@ -1,0 +1,14 @@
+"""Power estimation substrate (extension beyond the paper's evaluation)."""
+
+from .activity import ActivityReport, estimate_activity, table_output_probability
+from .power import FF_PER_UNIT_LOAD, VDD, PowerReport, estimate_power
+
+__all__ = [
+    "ActivityReport",
+    "estimate_activity",
+    "table_output_probability",
+    "FF_PER_UNIT_LOAD",
+    "VDD",
+    "PowerReport",
+    "estimate_power",
+]

@@ -1,0 +1,23 @@
+"""Routing substrate: grid, PathFinder, post-route extraction."""
+
+from .grid import DEFAULT_TRACKS, Bin, Edge, RoutingGrid
+from .pathfinder import (
+    MAX_ITERATIONS,
+    PathFinderRouter,
+    RoutedNet,
+    RoutingResult,
+)
+from .extract import route_and_extract, terminals_from_points
+
+__all__ = [
+    "DEFAULT_TRACKS",
+    "Bin",
+    "Edge",
+    "RoutingGrid",
+    "MAX_ITERATIONS",
+    "PathFinderRouter",
+    "RoutedNet",
+    "RoutingResult",
+    "route_and_extract",
+    "terminals_from_points",
+]

@@ -1,0 +1,55 @@
+"""Post-route extraction: routed geometry -> RC wire model.
+
+The paper measures final performance "by running static timing analysis
+... with data from post-layout extraction"; this module is that
+extraction, turning routed tree lengths and via counts into the
+:class:`~repro.timing.wires.WireModel` STA consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..netlist.core import Netlist
+from ..timing.wires import WireModel
+from .grid import Bin, RoutingGrid
+from .pathfinder import PathFinderRouter, RoutingResult
+
+
+def terminals_from_points(
+    grid: RoutingGrid,
+    net_points: Mapping[str, Sequence[Tuple[float, float]]],
+) -> Dict[str, List[Bin]]:
+    """Map physical pin points to routing bins, dropping single-bin nets."""
+    terminals: Dict[str, List[Bin]] = {}
+    for net, points in net_points.items():
+        bins = [grid.bin_of_point(x, y) for x, y in points]
+        unique = list(dict.fromkeys(bins))
+        if len(unique) >= 2:
+            terminals[net] = unique
+    return terminals
+
+
+def route_and_extract(
+    grid: RoutingGrid,
+    net_points: Mapping[str, Sequence[Tuple[float, float]]],
+) -> Tuple[RoutingResult, WireModel]:
+    """Route all nets and extract the post-route wire model.
+
+    Nets whose pins share one bin get a nominal intra-bin length of half
+    the bin pitch.
+    """
+    terminals = terminals_from_points(grid, net_points)
+    router = PathFinderRouter(grid)
+    result = router.route(terminals)
+
+    lengths: Dict[str, float] = {}
+    vias: Dict[str, int] = {}
+    for net, points in net_points.items():
+        if net in result.nets:
+            lengths[net] = result.nets[net].wirelength(grid)
+            vias[net] = result.nets[net].via_count()
+        elif len(points) >= 2:
+            lengths[net] = 0.5 * grid.bin_pitch
+            vias[net] = 0
+    return result, WireModel(lengths=lengths, via_counts=vias)

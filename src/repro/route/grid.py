@@ -1,0 +1,60 @@
+"""Routing resource grid.
+
+ASIC-style global routing over a uniform bin grid: each bin is a routing
+tile (a PLB tile in flow b, a group of cell sites in flow a); edges
+between adjacent bins carry a fixed number of tracks.  The VPGA routes on
+upper metal layers *on top of* the logic array, so the grid spans the full
+die with uniform capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+Bin = Tuple[int, int]
+Edge = Tuple[Bin, Bin]
+
+#: Routing tracks per bin boundary (per direction).
+DEFAULT_TRACKS = 12
+
+
+@dataclass
+class RoutingGrid:
+    """A cols x rows bin grid with per-edge track capacity."""
+
+    cols: int
+    rows: int
+    bin_pitch: float  # um
+    tracks: int = DEFAULT_TRACKS
+
+    def bins(self) -> Iterator[Bin]:
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield (col, row)
+
+    def contains(self, b: Bin) -> bool:
+        return 0 <= b[0] < self.cols and 0 <= b[1] < self.rows
+
+    def neighbors(self, b: Bin) -> List[Bin]:
+        col, row = b
+        out = []
+        for nc, nr in ((col + 1, row), (col - 1, row), (col, row + 1), (col, row - 1)):
+            if 0 <= nc < self.cols and 0 <= nr < self.rows:
+                out.append((nc, nr))
+        return out
+
+    def edge(self, a: Bin, b: Bin) -> Edge:
+        """Canonical (sorted) edge key."""
+        return (a, b) if a <= b else (b, a)
+
+    def bin_of_point(self, x: float, y: float) -> Bin:
+        col = int(x / self.bin_pitch)
+        row = int(y / self.bin_pitch)
+        return (
+            max(0, min(self.cols - 1, col)),
+            max(0, min(self.rows - 1, row)),
+        )
+
+    def center_of(self, b: Bin) -> Tuple[float, float]:
+        return ((b[0] + 0.5) * self.bin_pitch, (b[1] + 0.5) * self.bin_pitch)

@@ -1,0 +1,43 @@
+"""Logic synthesis substrate: AIG, optimization, mapping, compaction."""
+
+from .aig import AIG, CONST0_LIT, CONST1_LIT, lit, lit_inverted, lit_node, lit_not
+from .cuts import cut_function, enumerate_cuts, fanout_counts
+from .flowmap import FlowMap, FlowMapResult, flowmap_labels
+from .from_netlist import CombCore, DFFRecord, extract_core
+from .optimize import balance, cleanup, optimize, rewrite_cuts
+from .realize import Realization, Step, baseline_table, compaction_table, lookup
+from .techmap import TechmapError, map_core
+from .compaction import CompactionReport, compact, compact_to_fixpoint
+
+__all__ = [
+    "AIG",
+    "CONST0_LIT",
+    "CONST1_LIT",
+    "lit",
+    "lit_inverted",
+    "lit_node",
+    "lit_not",
+    "cut_function",
+    "enumerate_cuts",
+    "fanout_counts",
+    "FlowMap",
+    "FlowMapResult",
+    "flowmap_labels",
+    "CombCore",
+    "DFFRecord",
+    "extract_core",
+    "balance",
+    "cleanup",
+    "optimize",
+    "rewrite_cuts",
+    "Realization",
+    "Step",
+    "baseline_table",
+    "compaction_table",
+    "lookup",
+    "TechmapError",
+    "map_core",
+    "CompactionReport",
+    "compact",
+    "compact_to_fixpoint",
+]

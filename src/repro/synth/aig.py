@@ -1,0 +1,240 @@
+"""And-Inverter Graph with structural hashing.
+
+The AIG is the synthesis intermediate form (the Design Compiler stand-in
+works on it): nodes are 2-input ANDs, edges carry optional inversion, and
+structural hashing merges identical nodes on construction.  Literals are
+``2*node + polarity`` (polarity 1 = inverted); node 0 is constant false,
+so literal 0 is ``const0`` and literal 1 is ``const1``.
+
+Sequential elements stay outside the AIG: the flow extracts the
+combinational core of a netlist (DFF outputs become AIG inputs, DFF data
+pins become AIG outputs), maps it, and re-attaches the registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.truthtable import TruthTable
+
+CONST0_LIT = 0
+CONST1_LIT = 1
+
+
+def lit(node: int, inverted: bool = False) -> int:
+    """Build a literal from a node id."""
+    return 2 * node + (1 if inverted else 0)
+
+
+def lit_node(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_inverted(literal: int) -> bool:
+    return bool(literal & 1)
+
+
+def lit_not(literal: int) -> int:
+    return literal ^ 1
+
+
+@dataclass
+class AIG:
+    """A structurally hashed and-inverter graph.
+
+    Node 0 is the constant; nodes ``1..n_inputs`` are primary inputs;
+    higher nodes are ANDs stored in topological order by construction.
+    """
+
+    name: str = "aig"
+    n_inputs: int = 0
+    input_names: List[str] = field(default_factory=list)
+    #: fanin literals per AND node id (inputs/const have no entry).
+    fanin0: Dict[int, int] = field(default_factory=dict)
+    fanin1: Dict[int, int] = field(default_factory=dict)
+    #: (name, literal) primary outputs.
+    outputs: List[Tuple[str, int]] = field(default_factory=list)
+    _strash: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _next_node: int = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        """Add a primary input; returns its (positive) literal."""
+        node = self._next_node
+        self._next_node += 1
+        self.n_inputs += 1
+        self.input_names.append(name)
+        if node != self.n_inputs:
+            raise AssertionError("inputs must be added before any AND node")
+        return lit(node)
+
+    def add_output(self, name: str, literal: int) -> None:
+        self.outputs.append((name, literal))
+
+    def and2(self, a: int, b: int) -> int:
+        """Structurally hashed AND of two literals, with trivial folding."""
+        if a > b:
+            a, b = b, a
+        if a == CONST0_LIT:
+            return CONST0_LIT
+        if a == CONST1_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return CONST0_LIT
+        key = (a, b)
+        found = self._strash.get(key)
+        if found is not None:
+            return lit(found)
+        node = self._next_node
+        self._next_node += 1
+        self.fanin0[node] = a
+        self.fanin1[node] = b
+        self._strash[key] = node
+        return lit(node)
+
+    def or2(self, a: int, b: int) -> int:
+        return lit_not(self.and2(lit_not(a), lit_not(b)))
+
+    def xor2(self, a: int, b: int) -> int:
+        return self.or2(self.and2(a, lit_not(b)), self.and2(lit_not(a), b))
+
+    def mux(self, select: int, d0: int, d1: int) -> int:
+        return self.or2(self.and2(lit_not(select), d0), self.and2(select, d1))
+
+    def and_many(self, literals: Sequence[int]) -> int:
+        """Balanced AND tree."""
+        if not literals:
+            return CONST1_LIT
+        level = list(literals)
+        while len(level) > 1:
+            nxt = [
+                self.and2(level[i], level[i + 1]) if i + 1 < len(level) else level[i]
+                for i in range(0, len(level), 2)
+            ]
+            level = nxt
+        return level[0]
+
+    def from_table(self, table: TruthTable, input_literals: Sequence[int]) -> int:
+        """Build logic realizing ``table`` over existing literals.
+
+        Shannon-expands about the highest-index input, which for the small
+        capture-cell tables (<= 4 inputs) produces compact mux trees that
+        the structural hasher then shares.
+        """
+        if len(input_literals) != table.n_inputs:
+            raise ValueError("literal count must match table inputs")
+        if table.n_inputs == 0:
+            return CONST1_LIT if table.mask else CONST0_LIT
+        if table.is_constant():
+            return CONST1_LIT if table.mask else CONST0_LIT
+        index = table.n_inputs - 1
+        low = table.cofactor(index, 0)
+        high = table.cofactor(index, 1)
+        rest = input_literals[:index]
+        if low == high:
+            return self.from_table(low, rest)
+        low_lit = self.from_table(low, rest)
+        high_lit = self.from_table(high, rest)
+        return self.mux(input_literals[index], low_lit, high_lit)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_input(self, node: int) -> bool:
+        return 1 <= node <= self.n_inputs
+
+    def is_and(self, node: int) -> bool:
+        return node in self.fanin0
+
+    def and_nodes(self) -> Iterable[int]:
+        """AND node ids in topological (construction) order."""
+        return self.fanin0.keys()
+
+    def n_ands(self) -> int:
+        return len(self.fanin0)
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        return self.fanin0[node], self.fanin1[node]
+
+    def levels(self) -> Dict[int, int]:
+        """Logic level per node (inputs/const at level 0)."""
+        level: Dict[int, int] = {0: 0}
+        for node in range(1, self.n_inputs + 1):
+            level[node] = 0
+        for node in self.and_nodes():
+            f0, f1 = self.fanins(node)
+            level[node] = 1 + max(level[lit_node(f0)], level[lit_node(f1)])
+        return level
+
+    def depth(self) -> int:
+        level = self.levels()
+        if not self.outputs:
+            return 0
+        return max(level[lit_node(literal)] for _, literal in self.outputs)
+
+    def reachable_from_outputs(self) -> List[int]:
+        """AND nodes in the output cone, topological order."""
+        marked = set()
+        stack = [lit_node(literal) for _, literal in self.outputs]
+        while stack:
+            node = stack.pop()
+            if node in marked or not self.is_and(node):
+                continue
+            marked.add(node)
+            f0, f1 = self.fanins(node)
+            stack.append(lit_node(f0))
+            stack.append(lit_node(f1))
+        return [node for node in self.and_nodes() if node in marked]
+
+    def simulate(self, input_words: Sequence[int]) -> Dict[int, int]:
+        """Integer-bitmask simulation: word per node (arbitrary width)."""
+        if len(input_words) != self.n_inputs:
+            raise ValueError("one word per input required")
+        words: Dict[int, int] = {0: 0}
+
+        def word_of(literal: int) -> int:
+            # Inversion via ~ keeps arbitrary-width semantics; consumers
+            # mask to their word width.
+            value = words[lit_node(literal)]
+            return ~value if lit_inverted(literal) else value
+
+        for node in range(1, self.n_inputs + 1):
+            words[node] = input_words[node - 1]
+        for node in self.and_nodes():
+            f0, f1 = self.fanins(node)
+            words[node] = word_of(f0) & word_of(f1)
+        return words
+
+    def output_table(self) -> Dict[str, TruthTable]:
+        """Exhaustive truth tables of all outputs (small AIGs only)."""
+        n = self.n_inputs
+        if n > 16:
+            raise ValueError("exhaustive table limited to 16 inputs")
+        rows = 1 << n
+        input_words = []
+        for i in range(n):
+            word = 0
+            for row in range(rows):
+                if (row >> i) & 1:
+                    word |= 1 << row
+            input_words.append(word)
+        words = self.simulate(input_words)
+        tables = {}
+        mask_all = (1 << rows) - 1
+        for name, literal in self.outputs:
+            value = words[lit_node(literal)] & mask_all
+            if lit_inverted(literal):
+                value ^= mask_all
+            tables[name] = TruthTable(n, value)
+        return tables
+
+    def __repr__(self) -> str:
+        return (
+            f"AIG({self.name!r}: {self.n_inputs} inputs, {self.n_ands()} ands, "
+            f"{len(self.outputs)} outputs)"
+        )

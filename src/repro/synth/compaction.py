@@ -1,0 +1,414 @@
+"""Regularity-driven logic compaction (paper Section 3.1).
+
+"Technology-mapping is followed by a compaction algorithm that reduces the
+area of the netlist by better utilizing the given PLB architecture.  Our
+algorithm first finds clusters of logic or supernodes corresponding to
+functions with 3 or less than 3 inputs.  This is done using a maxflow-
+mincut algorithm similar to Flowmap [5].  It then matches these computed
+supernodes to the appropriate combination of PLB components."
+
+Implementation
+--------------
+1. FlowMap (K=3) runs over the mapped component netlist's instance graph,
+   giving every instance a min-height 3-feasible cut (its *supernode*).
+2. Supernodes are visited outputs-first.  A supernode is *collapsed* when
+   the best-matching PLB component structure (ND3 / MX / NDMX / XOAMX /
+   XOANDMX / LUT3 / ...) is smaller than the cells it replaces — counting
+   only cells used exclusively inside the supernode, so sharing is never
+   broken and total area monotonically decreases.
+3. The accepted cover is rebuilt into a fresh netlist; equivalence is
+   guaranteed by construction (cluster functions are exact truth tables)
+   and re-checked by the test suite via simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cells.library import Library
+from ..logic.truthtable import TruthTable
+from ..netlist.core import Netlist
+from ..netlist.stats import total_area
+from .flowmap import FlowMap
+from .realize import Realization, compaction_table, lookup
+
+#: Pseudo-node prefix for source nets (primary inputs, DFF outputs).
+_SRC = "$src$"
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of one compaction run."""
+
+    applied: bool
+    area_before: float
+    area_after: float
+    supernodes_collapsed: int
+    structure_histogram: Dict[str, int]
+
+    @property
+    def reduction(self) -> float:
+        """Fractional gate-area reduction (the paper's ~15% metric)."""
+        if self.area_before == 0:
+            return 0.0
+        return 1.0 - self.area_after / self.area_before
+
+
+def _instance_graph(netlist: Netlist) -> Dict[str, Tuple[str, ...]]:
+    """FlowMap fanin graph: combinational instances + net pseudo-sources."""
+    fanins: Dict[str, Tuple[str, ...]] = {}
+    for inst in netlist.combinational_instances():
+        fanin_nodes = []
+        for net in inst.input_nets():
+            driver = netlist.driver_of(net)
+            if driver is None or driver.is_sequential:
+                fanin_nodes.append(_SRC + net)
+            else:
+                fanin_nodes.append(driver.name)
+        fanins[inst.name] = tuple(dict.fromkeys(fanin_nodes))
+    return fanins
+
+
+def _node_net(netlist: Netlist, node: str) -> str:
+    """The net carried by a FlowMap node (instance output or source net)."""
+    if node.startswith(_SRC):
+        return node[len(_SRC):]
+    return netlist.instances[node].output_net
+
+
+def _cluster_function(
+    netlist: Netlist, root: str, leaf_nets: Sequence[str]
+) -> Optional[TruthTable]:
+    """Truth table of instance ``root``'s output over ``leaf_nets``."""
+    n = len(leaf_nets)
+    index = {net: i for i, net in enumerate(leaf_nets)}
+    cache: Dict[str, TruthTable] = {}
+
+    def table_of(net: str) -> Optional[TruthTable]:
+        if net in index:
+            return TruthTable.input_var(n, index[net])
+        if net in cache:
+            return cache[net]
+        driver = netlist.driver_of(net)
+        if driver is None or driver.is_sequential:
+            return None
+        assert driver.config is not None
+        sub_tables = []
+        for input_net in driver.input_nets():
+            sub = table_of(input_net)
+            if sub is None:
+                return None
+            sub_tables.append(sub)
+        result = driver.config.compose(sub_tables)
+        cache[net] = result
+        return result
+
+    return table_of(netlist.instances[root].output_net)
+
+
+def _exclusive_members(
+    netlist: Netlist,
+    root: str,
+    interior: Set[str],
+    outputs: Set[str],
+    consumed: Set[str],
+) -> Set[str]:
+    """Interior instances replaceable without breaking external sharing.
+
+    An interior instance is exclusive when every sink of its output net is
+    inside the supernode and its net is not an external contract (primary
+    output or register data pin).  Exclusivity is computed transitively,
+    output-side first: an interior node whose only outside-sink is another
+    non-exclusive interior node remains non-exclusive.
+    """
+    exclusive = {
+        name
+        for name in interior
+        if name not in consumed
+        and netlist.instances[name].output_net not in outputs
+    }
+    # Demote to a fixed point: a member stays exclusive only while every
+    # sink of its output either is the (replaced) root, another exclusive
+    # member, or an instance already consumed by an earlier supernode.
+    changed = True
+    while changed:
+        changed = False
+        for name in list(exclusive):
+            out_net = netlist.instances[name].output_net
+            for sink, _pin in netlist.nets[out_net].sinks:
+                if sink != root and sink not in exclusive and sink not in consumed:
+                    exclusive.discard(name)
+                    changed = True
+                    break
+    return exclusive
+
+
+def _enumerate_net_cuts(
+    netlist: Netlist, k: int = 3, cap: int = 16
+) -> Dict[str, List[Tuple[str, ...]]]:
+    """K-feasible cuts (as net tuples) per combinational output net."""
+    cuts: Dict[str, List[Tuple[str, ...]]] = {}
+
+    def cuts_of_net(net: str) -> List[Tuple[str, ...]]:
+        driver = netlist.driver_of(net)
+        if driver is None or driver.is_sequential:
+            return [(net,)]
+        return cuts.get(net, [(net,)])
+
+    for inst in netlist.topological_order():
+        input_nets = tuple(dict.fromkeys(inst.input_nets()))
+        merged: List[Tuple[str, ...]] = [input_nets] if len(input_nets) <= k else []
+        partial: List[Tuple[str, ...]] = [()]
+        for net in input_nets:
+            options = cuts_of_net(net) + [(net,)]
+            nxt: List[Tuple[str, ...]] = []
+            for base in partial:
+                for option in options:
+                    union = tuple(sorted(set(base) | set(option)))
+                    if len(union) <= k:
+                        nxt.append(union)
+            partial = list(dict.fromkeys(nxt))[: cap * 4]
+        merged.extend(partial)
+        # Dominance pruning and cap.
+        unique = sorted(set(m for m in merged if m), key=lambda c: (len(c), c))
+        kept: List[Tuple[str, ...]] = []
+        for candidate in unique:
+            cand_set = set(candidate)
+            if any(set(existing) <= cand_set for existing in kept):
+                continue
+            kept.append(candidate)
+            if len(kept) >= cap:
+                break
+        cuts[inst.output_net] = kept
+    return cuts
+
+
+def _cluster_interior(
+    netlist: Netlist, root: str, leaf_nets: Sequence[str]
+) -> Optional[Set[str]]:
+    """Instances strictly between the cut and ``root`` (root excluded)."""
+    leaves = set(leaf_nets)
+    interior: Set[str] = set()
+    stack = list(netlist.instances[root].input_nets())
+    while stack:
+        net = stack.pop()
+        if net in leaves:
+            continue
+        driver = netlist.driver_of(net)
+        if driver is None or driver.is_sequential:
+            return None  # cone escapes the cut
+        if driver.name in interior:
+            continue
+        interior.add(driver.name)
+        stack.extend(driver.input_nets())
+    return interior
+
+
+def compact(
+    netlist: Netlist,
+    arch: str,
+    library: Library,
+    k: int = 3,
+) -> Tuple[Netlist, CompactionReport]:
+    """Run logic compaction; returns (netlist, report).
+
+    The returned netlist is the compacted one when it improves total gate
+    area, otherwise the input netlist unchanged (``report.applied`` says
+    which).
+    """
+    area_before = total_area(netlist)
+    table = compaction_table(library)
+    fanins = _instance_graph(netlist)
+    flow_result = FlowMap(fanins, k=k).compute()
+
+    outputs = set(netlist.outputs)
+    order = netlist.topological_order()
+    net_cuts = _enumerate_net_cuts(netlist, k=k)
+    accepted: Dict[str, Tuple[Tuple[str, ...], Realization]] = {}
+    consumed: Set[str] = set()
+    histogram: Dict[str, int] = {}
+
+    for inst in reversed(order):
+        if inst.name in consumed:
+            continue
+        candidates: List[Tuple[str, ...]] = []
+        cut = flow_result.cuts.get(inst.name)
+        if cut is not None and cut != frozenset({inst.name}):
+            candidates.append(
+                tuple(sorted(_node_net(netlist, node) for node in cut))
+            )
+        for enumerated in net_cuts.get(inst.output_net, ()):  # pragma: no branch
+            if enumerated not in candidates and set(enumerated) != {inst.output_net}:
+                candidates.append(enumerated)
+
+        best: Optional[Tuple[float, Tuple[str, ...], Realization]] = None
+        for cut_nets in candidates:
+            interior = _cluster_interior(netlist, inst.name, cut_nets)
+            if interior is None:
+                continue
+            function = _cluster_function(netlist, inst.name, cut_nets)
+            if function is None:
+                continue
+            realization = lookup(table, function)
+            if realization is None:
+                continue
+            exclusive = _exclusive_members(
+                netlist, inst.name, interior, outputs, consumed
+            )
+            replaced_area = inst.cell.area + sum(
+                netlist.instances[name].cell.area for name in exclusive
+            )
+            gain = replaced_area - realization.area
+            if gain <= 0:
+                continue
+            if best is None or gain > best[0]:
+                best = (gain, cut_nets, realization, exclusive)  # type: ignore[assignment]
+        if best is None:
+            continue
+        _gain, cut_nets, realization, exclusive = best  # type: ignore[misc]
+        accepted[inst.name] = (cut_nets, realization)
+        consumed |= exclusive
+        histogram[realization.structure] = histogram.get(realization.structure, 0) + 1
+
+    if not accepted:
+        return netlist, CompactionReport(
+            applied=False,
+            area_before=area_before,
+            area_after=area_before,
+            supernodes_collapsed=0,
+            structure_histogram={},
+        )
+
+    compacted = _rebuild(netlist, library, accepted)
+    compacted.sweep_dangling()
+    area_after = total_area(compacted)
+    if area_after >= area_before:
+        return netlist, CompactionReport(
+            applied=False,
+            area_before=area_before,
+            area_after=area_before,
+            supernodes_collapsed=0,
+            structure_histogram={},
+        )
+    return compacted, CompactionReport(
+        applied=True,
+        area_before=area_before,
+        area_after=area_after,
+        supernodes_collapsed=len(accepted),
+        structure_histogram=histogram,
+    )
+
+
+def compact_to_fixpoint(
+    netlist: Netlist,
+    arch: str,
+    library: Library,
+    k: int = 3,
+    max_passes: int = 3,
+) -> Tuple[Netlist, CompactionReport]:
+    """Iterate :func:`compact` until no further area improves.
+
+    Each pass exposes new supernodes (collapsed structures become single
+    instances that later clusters can absorb).  Returns the aggregate
+    report over all applied passes.
+    """
+    area_before = total_area(netlist)
+    collapsed = 0
+    histogram: Dict[str, int] = {}
+    applied_any = False
+    for _ in range(max(1, max_passes)):
+        netlist, report = compact(netlist, arch, library, k=k)
+        if not report.applied:
+            break
+        applied_any = True
+        collapsed += report.supernodes_collapsed
+        for key, value in report.structure_histogram.items():
+            histogram[key] = histogram.get(key, 0) + value
+    area_after = total_area(netlist)
+    return netlist, CompactionReport(
+        applied=applied_any,
+        area_before=area_before,
+        area_after=area_after if applied_any else area_before,
+        supernodes_collapsed=collapsed,
+        structure_histogram=histogram,
+    )
+
+
+def _rebuild(
+    netlist: Netlist,
+    library: Library,
+    accepted: Dict[str, Tuple[Tuple[str, ...], Realization]],
+) -> Netlist:
+    """Materialize the accepted supernodes into a fresh netlist."""
+    rebuilt = Netlist(netlist.name)
+    new_net: Dict[str, str] = {}
+
+    for name in netlist.inputs:
+        new_net[name] = rebuilt.add_input(name)
+    for dff in netlist.sequential_instances():
+        new_net[dff.output_net] = rebuilt.add_net(dff.output_net)
+
+    def realize_net(old_net: str) -> str:
+        if old_net in new_net:
+            return new_net[old_net]
+        driver = netlist.driver_of(old_net)
+        assert driver is not None and not driver.is_sequential, old_net
+        if driver.name in accepted:
+            cut_nets, realization = accepted[driver.name]
+            leaf_nets = [realize_net(n) for n in cut_nets]
+            step_nets: List[str] = []
+            for step in realization.steps:
+                cell = library.cell(step.cell_name)
+                pin_nets = {}
+                for pin, (kind, index) in zip(cell.pins, step.refs):
+                    pin_nets[pin] = (
+                        leaf_nets[index] if kind == "leaf" else step_nets[index]
+                    )
+                inst = rebuilt.add_instance(cell, pin_nets, config=step.config)
+                step_nets.append(inst.output_net)
+            new_net[old_net] = step_nets[-1]
+        else:
+            pin_nets = {
+                pin: realize_net(driver.pin_nets[pin]) for pin in driver.cell.pins
+            }
+            inst = rebuilt.add_instance(driver.cell, pin_nets, config=driver.config)
+            new_net[old_net] = inst.output_net
+        return new_net[old_net]
+
+    for dff in netlist.sequential_instances():
+        d_net = realize_net(dff.pin_nets["D"])
+        rebuilt.add_instance(
+            dff.cell, {"D": d_net, "Q": new_net[dff.output_net]}, name=dff.name
+        )
+
+    buf_cell = library.cell("BUF")
+    identity = TruthTable.input_var(1, 0)
+    claimed: Set[str] = set()
+    for name in netlist.outputs:
+        net = realize_net(name)
+        if net == name:
+            rebuilt.add_output(name)
+            claimed.add(net)
+            continue
+        if (
+            name not in rebuilt.nets
+            and not rebuilt.nets[net].is_input
+            and net not in claimed
+        ):
+            rebuilt.rename_net(net, name)
+            _retarget(new_net, net, name)
+            rebuilt.add_output(name)
+            claimed.add(name)
+        else:
+            inst = rebuilt.add_instance(buf_cell, {"A": net, "Y": name}, config=identity)
+            rebuilt.add_output(inst.output_net)
+            claimed.add(name)
+
+    return rebuilt
+
+
+def _retarget(mapping: Dict[str, str], old_value: str, new_value: str) -> None:
+    for key, value in mapping.items():
+        if value == old_value:
+            mapping[key] = new_value

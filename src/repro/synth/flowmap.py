@@ -1,0 +1,236 @@
+"""FlowMap: depth-optimal K-feasible cut computation via max-flow/min-cut.
+
+The paper's logic-compaction step "finds clusters of logic or supernodes
+corresponding to functions with 3 or less inputs ... using a maxflow-
+mincut algorithm similar to Flowmap [5]".  This module implements that
+algorithm (Cong & Ding, 1994) on an arbitrary DAG:
+
+* labels are computed in topological order; ``label(t)`` is the optimal
+  mapping depth of ``t`` in unit-delay K-input clusters;
+* for each node, the existence of a height-``(l_max - 1)`` K-feasible cut
+  is decided by max-flow on the node-split cone network, with every node
+  in the cone carrying unit capacity and all nodes of label ``l_max``
+  collapsed into the sink;
+* the min-cut (the supernode's input boundary) is recovered from the
+  residual graph.
+
+Cones are truncated at ``cone_cap`` nodes for very deep nodes; past the
+cap, nodes at the frontier are treated as pseudo-sources (a standard
+practical approximation that can only make labels conservative).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+Node = Hashable
+
+#: Default cone-size cap before frontier truncation kicks in.
+DEFAULT_CONE_CAP = 3000
+
+
+@dataclass
+class FlowMapResult:
+    """Labels and best cuts for every node."""
+
+    labels: Dict[Node, int]
+    cuts: Dict[Node, FrozenSet[Node]]
+
+    def depth(self) -> int:
+        return max(self.labels.values(), default=0)
+
+
+class FlowMap:
+    """FlowMap labeling over a DAG given by fanin lists.
+
+    Parameters
+    ----------
+    fanins:
+        Node -> fanin nodes.  Nodes absent from the mapping (or mapping to
+        an empty sequence) are sources with label 0.
+    k:
+        Cluster input bound (3 for the paper's supernodes).
+    """
+
+    def __init__(
+        self,
+        fanins: Mapping[Node, Sequence[Node]],
+        k: int = 3,
+        cone_cap: int = DEFAULT_CONE_CAP,
+    ):
+        self.fanins: Dict[Node, Tuple[Node, ...]] = {
+            node: tuple(fs) for node, fs in fanins.items()
+        }
+        self.k = k
+        self.cone_cap = cone_cap
+        self.labels: Dict[Node, int] = {}
+        self.cuts: Dict[Node, FrozenSet[Node]] = {}
+
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> List[Node]:
+        indegree: Dict[Node, int] = {}
+        dependents: Dict[Node, List[Node]] = {}
+        nodes: Set[Node] = set(self.fanins)
+        for node, fanins in self.fanins.items():
+            for fanin in fanins:
+                nodes.add(fanin)
+        for node in nodes:
+            indegree.setdefault(node, 0)
+        for node, fanins in self.fanins.items():
+            count = 0
+            for fanin in set(fanins):
+                dependents.setdefault(fanin, []).append(node)
+            indegree[node] = len(set(fanins))
+        queue = deque(sorted((n for n, d in indegree.items() if d == 0), key=repr))
+        order: List[Node] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for dep in dependents.get(node, ()):  # pragma: no branch
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(nodes):
+            raise ValueError("cycle detected in FlowMap input graph")
+        return order
+
+    def is_source(self, node: Node) -> bool:
+        return not self.fanins.get(node)
+
+    # ------------------------------------------------------------------
+    def compute(self) -> FlowMapResult:
+        """Compute labels and min-height K-feasible cuts for all nodes."""
+        for node in self._topological_order():
+            if self.is_source(node):
+                self.labels[node] = 0
+                self.cuts[node] = frozenset({node})
+                continue
+            fanin_nodes = self.fanins[node]
+            l_max = max(self.labels[f] for f in fanin_nodes)
+            cut = self._min_height_cut(node, l_max)
+            if cut is not None:
+                self.labels[node] = l_max
+                self.cuts[node] = cut
+            else:
+                self.labels[node] = l_max + 1
+                self.cuts[node] = frozenset(fanin_nodes)
+        return FlowMapResult(labels=dict(self.labels), cuts=dict(self.cuts))
+
+    # ------------------------------------------------------------------
+    def _collect_cone(self, target: Node) -> Set[Node]:
+        """Transitive fanin cone of ``target`` (inclusive), capped."""
+        cone: Set[Node] = set()
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            if node in cone:
+                continue
+            cone.add(node)
+            if len(cone) >= self.cone_cap:
+                break
+            stack.extend(self.fanins.get(node, ()))
+        return cone
+
+    def _min_height_cut(self, target: Node, l_max: int) -> FrozenSet[Node] | None:
+        """A K-feasible cut of height ``l_max - 1``, or ``None``.
+
+        Builds the node-split flow network over the cone of ``target``:
+        nodes labeled ``l_max`` (plus ``target``) collapse into the sink;
+        every other cone node has capacity 1; sources (or frontier nodes
+        past the cone cap) attach to the super-source.
+        """
+        cone = self._collect_cone(target)
+        sink_side = {
+            node for node in cone
+            if node == target or self.labels.get(node, 0) == l_max
+        }
+        # If cone truncation cut a sink-side node off from its fanins, a
+        # source-to-sink path is missing from the network; be conservative.
+        for node in sink_side:
+            if any(f not in cone for f in self.fanins.get(node, ())):
+                return None
+        # Interior nodes: capacity 1, split into (node, 'in') / (node, 'out').
+        # Residual graph as adjacency with capacities.
+        capacity: Dict[Tuple, Dict[Tuple, int]] = {}
+
+        def add_edge(u: Tuple, v: Tuple, cap: int) -> None:
+            capacity.setdefault(u, {})[v] = capacity.setdefault(u, {}).get(v, 0) + cap
+            capacity.setdefault(v, {}).setdefault(u, 0)
+
+        SOURCE = ("$source$",)
+        SINK = ("$sink$",)
+        INF = 1 << 20
+
+        for node in cone:
+            if node in sink_side:
+                continue
+            add_edge((node, "in"), (node, "out"), 1)
+            fanins = self.fanins.get(node, ())
+            is_frontier = (
+                not fanins
+                or any(f not in cone for f in fanins)
+            )
+            if is_frontier:
+                add_edge(SOURCE, (node, "in"), INF)
+        for node in cone:
+            for fanin in self.fanins.get(node, ()):
+                if fanin not in cone:
+                    continue
+                head = SINK if node in sink_side else (node, "in")
+                if fanin in sink_side:
+                    continue  # sink-side internal edge, irrelevant to the cut
+                add_edge((fanin, "out"), head, INF)
+
+        # BFS augmenting paths; stop once flow exceeds k.
+        flow = 0
+        while flow <= self.k:
+            parent: Dict[Tuple, Tuple] = {SOURCE: SOURCE}
+            queue = deque([SOURCE])
+            while queue and SINK not in parent:
+                u = queue.popleft()
+                for v, cap in capacity.get(u, {}).items():
+                    if cap > 0 and v not in parent:
+                        parent[v] = u
+                        queue.append(v)
+            if SINK not in parent:
+                break
+            # Unit bottleneck (all finite capacities are 1).
+            v = SINK
+            while v != SOURCE:
+                u = parent[v]
+                capacity[u][v] -= 1
+                capacity[v][u] += 1
+                v = u
+            flow += 1
+        if flow > self.k:
+            return None
+
+        # Min cut: interior nodes whose 'in' side is reachable in the
+        # residual graph but whose 'out' side is not.
+        reachable: Set[Tuple] = set()
+        queue = deque([SOURCE])
+        reachable.add(SOURCE)
+        while queue:
+            u = queue.popleft()
+            for v, cap in capacity.get(u, {}).items():
+                if cap > 0 and v not in reachable:
+                    reachable.add(v)
+                    queue.append(v)
+        cut = set()
+        for node in cone:
+            if node in sink_side:
+                continue
+            if (node, "in") in reachable and (node, "out") not in reachable:
+                cut.add(node)
+        if not cut or len(cut) > self.k:
+            return None
+        return frozenset(cut)
+
+
+def flowmap_labels(
+    fanins: Mapping[Node, Sequence[Node]], k: int = 3
+) -> FlowMapResult:
+    """One-shot FlowMap computation."""
+    return FlowMap(fanins, k=k).compute()

@@ -1,0 +1,74 @@
+"""Netlist <-> AIG conversion for the synthesis front end.
+
+``extract_core`` lifts a netlist's combinational core into an AIG: primary
+inputs and DFF outputs become AIG inputs; primary outputs and DFF data
+pins become AIG outputs.  The registry of DFFs travels alongside so the
+mapper can re-attach registers after mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..netlist.core import Netlist, NetlistError
+from .aig import AIG
+
+
+@dataclass(frozen=True)
+class DFFRecord:
+    """One register crossing the combinational core boundary."""
+
+    name: str
+    d_net: str
+    q_net: str
+
+
+@dataclass(frozen=True)
+class CombCore:
+    """An AIG plus the bookkeeping to rebuild a sequential netlist."""
+
+    aig: AIG
+    primary_inputs: Tuple[str, ...]
+    primary_outputs: Tuple[str, ...]
+    dffs: Tuple[DFFRecord, ...]
+
+
+#: Prefix distinguishing DFF data-pin pseudo-outputs inside the AIG.
+DFF_OUTPUT_PREFIX = "$dffd$"
+
+
+def extract_core(netlist: Netlist) -> CombCore:
+    """Extract the combinational core of ``netlist`` into an AIG."""
+    aig = AIG(netlist.name)
+    literal_of: Dict[str, int] = {}
+
+    for name in netlist.inputs:
+        literal_of[name] = aig.add_input(name)
+    dffs: List[DFFRecord] = []
+    for inst in netlist.sequential_instances():
+        record = DFFRecord(name=inst.name, d_net=inst.pin_nets["D"], q_net=inst.output_net)
+        dffs.append(record)
+        literal_of[record.q_net] = aig.add_input(record.q_net)
+
+    for inst in netlist.topological_order():
+        if inst.config is None:
+            raise NetlistError(f"{inst.name}: combinational instance without config")
+        input_literals = []
+        for net in inst.input_nets():
+            if net not in literal_of:
+                raise NetlistError(f"net {net!r} undefined during AIG extraction")
+            input_literals.append(literal_of[net])
+        literal_of[inst.output_net] = aig.from_table(inst.config, input_literals)
+
+    for out in netlist.outputs:
+        aig.add_output(out, literal_of[out])
+    for record in dffs:
+        aig.add_output(DFF_OUTPUT_PREFIX + record.name, literal_of[record.d_net])
+
+    return CombCore(
+        aig=aig,
+        primary_inputs=tuple(netlist.inputs),
+        primary_outputs=tuple(netlist.outputs),
+        dffs=tuple(dffs),
+    )

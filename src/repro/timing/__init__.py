@@ -1,0 +1,35 @@
+"""Timing substrate: wire models and static timing analysis."""
+
+from .sta import (
+    DEFAULT_CLOCK_PERIOD_NS,
+    TOP_PATHS,
+    PathPoint,
+    TimingPath,
+    TimingReport,
+    analyze,
+)
+from .wires import (
+    VIA_RES,
+    WIRE_CAP_PER_UM,
+    WIRE_RES_PER_UM,
+    WireModel,
+    hpwl,
+    wire_model_from_placement,
+    zero_wire_model,
+)
+
+__all__ = [
+    "DEFAULT_CLOCK_PERIOD_NS",
+    "TOP_PATHS",
+    "PathPoint",
+    "TimingPath",
+    "TimingReport",
+    "analyze",
+    "VIA_RES",
+    "WIRE_CAP_PER_UM",
+    "WIRE_RES_PER_UM",
+    "WireModel",
+    "hpwl",
+    "wire_model_from_placement",
+    "zero_wire_model",
+]

@@ -1,0 +1,218 @@
+"""Static timing analysis.
+
+Single-clock STA over a mapped netlist: arrival times propagate from
+primary inputs (time 0) and DFF outputs (clock-to-Q) through the
+characterized cell delays plus Elmore wire delays; required times
+propagate back from primary outputs (the clock period) and DFF data pins
+(period minus setup).  Endpoint slacks and the paper's reporting metric —
+the average slack over the top-N critical paths — come out of one pass.
+
+The paper: "The cycle time for all the designs is .5 ns.  We compare the
+average slack over the top 10 critical paths in the design."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cells.celltypes import DFF_CLK_TO_Q_NS, DFF_SETUP_NS
+from ..cells.characterize import TimingLibrary
+from ..netlist.core import Instance, Netlist
+from .wires import WireModel, zero_wire_model
+
+#: The paper's cycle-time target (ns).
+DEFAULT_CLOCK_PERIOD_NS = 0.5
+
+#: Default number of critical paths in the slack report (paper: 10).
+TOP_PATHS = 10
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One hop of a reported critical path."""
+
+    instance: str
+    cell: str
+    net: str
+    arrival: float
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """A reported endpoint with its worst path."""
+
+    endpoint: str          # net at the endpoint (PO net or DFF D net)
+    endpoint_kind: str     # "output" | "register"
+    arrival: float
+    required: float
+    points: Tuple[PathPoint, ...]
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+
+@dataclass
+class TimingReport:
+    """Full STA result."""
+
+    period: float
+    arrival: Dict[str, float]
+    endpoint_slack: Dict[str, float]
+    paths: List[TimingPath] = field(default_factory=list)
+
+    @property
+    def worst_slack(self) -> float:
+        if not self.endpoint_slack:
+            return self.period
+        return min(self.endpoint_slack.values())
+
+    @property
+    def critical_path_delay(self) -> float:
+        if not self.arrival:
+            return 0.0
+        return max(self.arrival.values())
+
+    def average_slack(self, top_n: int = TOP_PATHS) -> float:
+        """Mean slack over the ``top_n`` most critical endpoints."""
+        if not self.endpoint_slack:
+            return self.period
+        worst = sorted(self.endpoint_slack.values())[:top_n]
+        return sum(worst) / len(worst)
+
+
+def _net_load(
+    netlist: Netlist, timing: TimingLibrary, wires: WireModel, net: str
+) -> float:
+    load = wires.capacitance(net)
+    for sink_name, pin in netlist.nets[net].sinks:
+        sink = netlist.instances[sink_name]
+        if sink.cell.name in timing.library:
+            load += timing.pin_cap(sink.cell.name, pin)
+        else:
+            load += max(sink.cell.input_caps.values())
+    return load
+
+
+def analyze(
+    netlist: Netlist,
+    timing: TimingLibrary,
+    wires: Optional[WireModel] = None,
+    period: float = DEFAULT_CLOCK_PERIOD_NS,
+    top_n: int = TOP_PATHS,
+) -> TimingReport:
+    """Run STA; returns arrivals, endpoint slacks and top-N paths."""
+    wires = wires if wires is not None else zero_wire_model()
+
+    arrival: Dict[str, float] = {}
+    worst_fanin: Dict[str, Tuple[Optional[str], str]] = {}
+
+    for name in netlist.inputs:
+        arrival[name] = 0.0
+        worst_fanin[name] = (None, name)
+    for dff in netlist.sequential_instances():
+        arrival[dff.output_net] = DFF_CLK_TO_Q_NS
+        worst_fanin[dff.output_net] = (dff.name, dff.output_net)
+
+    for inst in netlist.topological_order():
+        out_net = inst.output_net
+        load = _net_load(netlist, timing, wires, out_net)
+        if inst.cell.name in timing.library:
+            gate_delay = timing.delay(inst.cell.name, load)
+        else:
+            gate_delay = inst.cell.delay(load)
+        best_arrival = 0.0
+        best_net = None
+        for in_net in inst.input_nets():
+            pin_cap = (
+                timing.pin_cap(inst.cell.name, _pin_of(inst, in_net))
+                if inst.cell.name in timing.library
+                else max(inst.cell.input_caps.values())
+            )
+            at_pin = arrival[in_net] + wires.delay(in_net, pin_cap)
+            if best_net is None or at_pin > best_arrival:
+                best_arrival = at_pin
+                best_net = in_net
+        arrival[out_net] = best_arrival + gate_delay
+        worst_fanin[out_net] = (inst.name, best_net if best_net is not None else out_net)
+
+    # Endpoints.
+    endpoint_slack: Dict[str, float] = {}
+    endpoint_kind: Dict[str, str] = {}
+    for out in netlist.outputs:
+        at = arrival[out] + wires.delay(out, 1.0)
+        endpoint_slack[out] = period - at
+        endpoint_kind[out] = "output"
+    for dff in netlist.sequential_instances():
+        d_net = dff.pin_nets["D"]
+        pin_cap = dff.cell.input_caps["D"]
+        at = arrival[d_net] + wires.delay(d_net, pin_cap)
+        key = f"{dff.name}/D"
+        endpoint_slack[key] = period - DFF_SETUP_NS - at
+        endpoint_kind[key] = "register"
+
+    # Top-N paths by slack.
+    ranked = sorted(endpoint_slack.items(), key=lambda item: item[1])[:top_n]
+    paths: List[TimingPath] = []
+    for endpoint, slack in ranked:
+        if endpoint_kind[endpoint] == "register":
+            dff_name = endpoint.rsplit("/", 1)[0]
+            net = netlist.instances[dff_name].pin_nets["D"]
+        else:
+            net = endpoint
+        points = _trace_path(netlist, arrival, worst_fanin, net)
+        paths.append(
+            TimingPath(
+                endpoint=endpoint,
+                endpoint_kind=endpoint_kind[endpoint],
+                arrival=period - slack - (DFF_SETUP_NS if endpoint_kind[endpoint] == "register" else 0.0),
+                required=period - (DFF_SETUP_NS if endpoint_kind[endpoint] == "register" else 0.0),
+                points=tuple(points),
+            )
+        )
+
+    return TimingReport(
+        period=period,
+        arrival=arrival,
+        endpoint_slack=endpoint_slack,
+        paths=paths,
+    )
+
+
+def _pin_of(inst: Instance, net: str) -> str:
+    for pin in inst.cell.pins:
+        if inst.pin_nets[pin] == net:
+            return pin
+    raise KeyError(f"{inst.name}: no input pin on net {net!r}")
+
+
+def _trace_path(
+    netlist: Netlist,
+    arrival: Dict[str, float],
+    worst_fanin: Dict[str, Tuple[Optional[str], str]],
+    net: str,
+) -> List[PathPoint]:
+    points: List[PathPoint] = []
+    current = net
+    guard = 0
+    while guard < 10_000:
+        guard += 1
+        inst_name, prev_net = worst_fanin.get(current, (None, current))
+        points.append(
+            PathPoint(
+                instance=inst_name or "<port>",
+                cell=(
+                    netlist.instances[inst_name].cell.name
+                    if inst_name is not None and inst_name in netlist.instances
+                    else "PI"
+                ),
+                net=current,
+                arrival=arrival.get(current, 0.0),
+            )
+        )
+        if inst_name is None or prev_net == current:
+            break
+        current = prev_net
+    points.reverse()
+    return points

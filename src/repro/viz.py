@@ -1,0 +1,122 @@
+"""Layout visualization: SVG rendering of flow artifacts.
+
+The paper's flow "produces a GDSII description of the layout in the form
+of a regular array of PLBs with ASIC-style custom routing on the upper
+metal layers"; this module renders that artifact for inspection — PLB
+tiles shaded by slot utilization, component occupancy marks, and the
+routed nets overlaid as upper-metal segments.
+
+No drawing dependencies: output is plain SVG text.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .pack.quadrisection import PackingResult
+from .route.pathfinder import RoutingResult
+
+#: Fill colors per slot class.
+SLOT_COLORS = {
+    "LUT3": "#8da0cb",
+    "ND3WI": "#66c2a5",
+    "MUX2": "#fc8d62",
+    "XOA": "#e78ac3",
+    "DFF": "#a6d854",
+    "POLBUF": "#ffd92f",
+}
+
+_TILE_FILL = "#f4f4f0"
+_TILE_EDGE = "#999999"
+_WIRE_COLOR = "#4466bb"
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_packing_svg(
+    packing: PackingResult,
+    routing: Optional[RoutingResult] = None,
+    scale: float = 4.0,
+    title: str = "",
+) -> str:
+    """Render a packed design (and optionally its routing) as SVG text."""
+    tile = packing.arch.tile_side * scale
+    width = packing.cols * tile
+    height = packing.rows * tile
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width + 20:.0f}" height="{height + 40:.0f}" '
+        f'viewBox="-10 -30 {width + 20:.0f} {height + 40:.0f}">',
+        f'<text x="0" y="-12" font-family="monospace" font-size="14">'
+        f'{_esc(title or packing.arch.name)} — '
+        f'{packing.plbs_used}/{packing.n_plbs} PLBs used</text>',
+    ]
+
+    # Occupancy per PLB, grouped by slot.
+    occupancy: Dict[Tuple[int, int], Dict[str, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for assignment in packing.assignments.values():
+        occupancy[assignment.plb][assignment.slot] += 1
+
+    for row in range(packing.rows):
+        for col in range(packing.cols):
+            x, y = col * tile, row * tile
+            slots = occupancy.get((col, row), {})
+            used = sum(slots.values())
+            capacity = max(1, sum(packing.arch.slots.values()))
+            shade = 1.0 - 0.6 * min(1.0, used / capacity)
+            fill = _TILE_FILL if not slots else (
+                f"rgb({int(244 * shade)},{int(244 * shade)},{int(240 * shade)})"
+            )
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{tile:.1f}" '
+                f'height="{tile:.1f}" fill="{fill}" stroke="{_TILE_EDGE}" '
+                f'stroke-width="0.5"/>'
+            )
+            # Slot occupancy marks: one small square per occupied slot.
+            mark = tile / 6.0
+            index = 0
+            for slot_name in sorted(slots):
+                color = SLOT_COLORS.get(slot_name, "#cccccc")
+                for _ in range(slots[slot_name]):
+                    mx = x + 2 + (index % 5) * (mark + 1)
+                    my = y + 2 + (index // 5) * (mark + 1)
+                    parts.append(
+                        f'<rect x="{mx:.1f}" y="{my:.1f}" width="{mark:.1f}" '
+                        f'height="{mark:.1f}" fill="{color}">'
+                        f"<title>{_esc(slot_name)}</title></rect>"
+                    )
+                    index += 1
+
+    if routing is not None:
+        parts.append('<g stroke-linecap="round" opacity="0.45">')
+        for net in routing.nets.values():
+            for (a, b) in net.edges:
+                ax = (a[0] + 0.5) * tile
+                ay = (a[1] + 0.5) * tile
+                bx = (b[0] + 0.5) * tile
+                by = (b[1] + 0.5) * tile
+                parts.append(
+                    f'<line x1="{ax:.1f}" y1="{ay:.1f}" x2="{bx:.1f}" '
+                    f'y2="{by:.1f}" stroke="{_WIRE_COLOR}" stroke-width="0.8"/>'
+                )
+        parts.append("</g>")
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_packing_svg(
+    stream: TextIO,
+    packing: PackingResult,
+    routing: Optional[RoutingResult] = None,
+    scale: float = 4.0,
+    title: str = "",
+) -> None:
+    """Write :func:`render_packing_svg` output to ``stream``."""
+    stream.write(render_packing_svg(packing, routing, scale=scale, title=title))

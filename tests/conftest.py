@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import granular_plb_library, lut_plb_library, characterize_library
+from repro.core import granular_plb, lut_plb
+from repro.netlist import NetlistBuilder
+
+
+def make_ripple_design(width: int = 4, name: str = "ripple"):
+    """A small registered ripple adder (xor/mux/and mix) used widely."""
+    b = NetlistBuilder(name)
+    a = b.input_word("a", width)
+    c = b.input_word("c", width)
+    carry = b.input("cin")
+    sums = []
+    for i in range(width):
+        p = b.XOR(a[i], c[i])
+        s = b.XOR(p, carry)
+        g = b.AND(a[i], c[i])
+        carry = b.MUX(p, g, carry)
+        sums.append(b.DFF(s))
+    b.output_word(sums, "sum")
+    b.output(b.DFF(carry), "cout")
+    return b.netlist
+
+
+def make_combinational_design(name: str = "comb"):
+    """A purely combinational mixed-function block."""
+    b = NetlistBuilder(name)
+    x = b.input_word("x", 4)
+    y = b.input_word("y", 4)
+    b.output(b.AND(x[0], y[0], x[1]), "f0")
+    b.output(b.XOR(x[1], y[1], x[2]), "f1")
+    b.output(b.MUX(x[2], y[2], y[3]), "f2")
+    b.output(b.AOI21(x[3], y[0], y[1]), "f3")
+    b.output(b.MAJ(x[0], y[2], x[3]), "f4")
+    b.output(b.NOR(x[0], x[1]), "f5")
+    return b.netlist
+
+
+@pytest.fixture(scope="session")
+def ripple_design():
+    return make_ripple_design()
+
+
+@pytest.fixture(scope="session")
+def comb_design():
+    return make_combinational_design()
+
+
+@pytest.fixture(scope="session")
+def lut_lib():
+    return lut_plb_library()
+
+
+@pytest.fixture(scope="session")
+def gran_lib():
+    return granular_plb_library()
+
+
+@pytest.fixture(scope="session")
+def lut_arch():
+    return lut_plb()
+
+
+@pytest.fixture(scope="session")
+def gran_arch():
+    return granular_plb()
+
+
+@pytest.fixture(scope="session")
+def lut_timing(lut_lib):
+    return characterize_library(lut_lib)
+
+
+@pytest.fixture(scope="session")
+def gran_timing(gran_lib):
+    return characterize_library(gran_lib)

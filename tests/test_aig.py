@@ -1,0 +1,171 @@
+"""Unit tests for the AIG and its optimization passes."""
+
+import pytest
+
+from repro.logic.truthtable import TruthTable
+from repro.synth.aig import (
+    AIG,
+    CONST0_LIT,
+    CONST1_LIT,
+    lit,
+    lit_inverted,
+    lit_node,
+    lit_not,
+)
+from repro.synth.optimize import balance, cleanup, optimize, rewrite_cuts
+
+
+def xor3_aig():
+    g = AIG("xor3")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    c = g.add_input("c")
+    g.add_output("y", g.xor2(g.xor2(a, b), c))
+    return g
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit(5) == 10
+        assert lit(5, True) == 11
+        assert lit_node(11) == 5
+        assert lit_inverted(11)
+        assert lit_not(10) == 11
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        g = AIG()
+        a = g.add_input("a")
+        assert g.and2(a, CONST0_LIT) == CONST0_LIT
+        assert g.and2(a, CONST1_LIT) == a
+        assert g.and2(a, a) == a
+        assert g.and2(a, lit_not(a)) == CONST0_LIT
+
+    def test_structural_hashing(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        x = g.and2(a, b)
+        y = g.and2(b, a)
+        assert x == y
+        assert g.n_ands() == 1
+
+    def test_or_demorgan(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        y = g.or2(a, b)
+        assert lit_inverted(y)
+
+    def test_inputs_before_ands_enforced(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        g.and2(a, b)
+        with pytest.raises(AssertionError):
+            g.add_input("c")
+
+    def test_and_many_balanced(self):
+        g = AIG()
+        lits = [g.add_input(f"i{i}") for i in range(8)]
+        g.add_output("y", g.and_many(lits))
+        assert g.depth() == 3  # perfectly balanced over 8 inputs
+
+
+class TestFunctionality:
+    def test_xor3_table(self):
+        g = xor3_aig()
+        a, b, c = TruthTable.inputs(3)
+        assert g.output_table()["y"] == (a ^ b ^ c)
+
+    def test_mux(self):
+        g = AIG()
+        s = g.add_input("s")
+        d0 = g.add_input("d0")
+        d1 = g.add_input("d1")
+        g.add_output("y", g.mux(s, d0, d1))
+        table = g.output_table()["y"]
+        assert table(0, 1, 0) == 1
+        assert table(1, 0, 1) == 1
+
+    def test_from_table_all_3input(self):
+        for mask in range(0, 256, 11):
+            g = AIG()
+            lits = [g.add_input(f"i{i}") for i in range(3)]
+            g.add_output("y", g.from_table(TruthTable(3, mask), lits))
+            assert g.output_table()["y"].mask == mask
+
+    def test_from_table_constant(self):
+        g = AIG()
+        lits = [g.add_input("a")]
+        assert g.from_table(TruthTable(1, 0b11), lits) == CONST1_LIT
+
+    def test_simulate_words(self):
+        g = xor3_aig()
+        words = g.simulate([0b1100, 0b1010, 0b0110])
+        name, literal = g.outputs[0]
+        value = words[lit_node(literal)]
+        if lit_inverted(literal):
+            value = ~value
+        assert value & 0xF == 0b1100 ^ 0b1010 ^ 0b0110
+
+    def test_levels_and_depth(self):
+        g = xor3_aig()
+        assert g.depth() >= 2
+
+    def test_reachable_from_outputs(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        used = g.and2(a, b)
+        g.and2(a, lit_not(b))  # dead node
+        g.add_output("y", used)
+        assert len(g.reachable_from_outputs()) == 1
+
+
+class TestOptimize:
+    def test_cleanup_removes_dead(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        g.add_output("y", g.and2(a, b))
+        g.and2(a, lit_not(b))
+        fresh = cleanup(g)
+        assert fresh.n_ands() == 1
+        assert fresh.output_table() == g.output_table()
+
+    def test_balance_reduces_chain_depth(self):
+        g = AIG()
+        lits = [g.add_input(f"i{i}") for i in range(8)]
+        acc = lits[0]
+        for l in lits[1:]:
+            acc = g.and2(acc, l)
+        g.add_output("y", acc)
+        assert g.depth() == 7
+        balanced = balance(g)
+        assert balanced.depth() == 3
+        assert balanced.output_table() == g.output_table()
+
+    def test_balance_preserves_function_with_sharing(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        c = g.add_input("c")
+        shared = g.and2(a, b)
+        g.add_output("y1", g.and2(shared, c))
+        g.add_output("y2", g.or2(shared, c))
+        balanced = balance(g)
+        assert balanced.output_table() == g.output_table()
+
+    def test_rewrite_preserves_function(self):
+        g = xor3_aig()
+        rewritten = rewrite_cuts(g)
+        assert rewritten.output_table() == g.output_table()
+
+    def test_optimize_chain(self):
+        g = xor3_aig()
+        for effort in (1, 2):
+            opt = optimize(g, effort=effort)
+            assert opt.output_table() == g.output_table()
+            assert opt.n_ands() <= g.n_ands() + 2

@@ -1,0 +1,189 @@
+"""Unit tests for component cells, libraries and characterization."""
+
+import pytest
+
+from repro.cells.celltypes import (
+    CellType,
+    TAU_NS,
+    make_buf,
+    make_dff,
+    make_inv,
+    make_lut3,
+    make_mux2,
+    make_nd2wi,
+    make_nd3wi,
+    make_xoa,
+    mux_table,
+    nand_table,
+    standard_cells,
+)
+from repro.cells.characterize import (
+    DEFAULT_LOAD_POINTS,
+    characterize_cell,
+    characterize_library,
+)
+from repro.cells.library import (
+    Library,
+    LibraryError,
+    generic_library,
+    granular_plb_library,
+    lut_plb_library,
+)
+from repro.logic.truthtable import TruthTable, all_functions
+
+
+class TestCellFunctions:
+    def test_nd2wi_feasible_count(self):
+        # NAND2 with free input/output polarity: 8 distinct functions.
+        assert len(make_nd2wi().feasible) == 8
+
+    def test_nd3wi_feasible_count(self):
+        assert len(make_nd3wi().feasible) == 16
+
+    def test_nd2wi_excludes_xor(self):
+        a, b = TruthTable.inputs(2)
+        cell = make_nd2wi()
+        assert not cell.can_implement(a ^ b)
+        assert cell.can_implement(~(a & b))
+        assert cell.can_implement(a | b)
+
+    def test_lut3_universal(self):
+        cell = make_lut3()
+        assert all(cell.can_implement(t) for t in all_functions(3))
+
+    def test_mux_cells_single_function(self):
+        for cell in (make_mux2(), make_xoa()):
+            assert cell.feasible == frozenset({mux_table()})
+
+    def test_mux_table_semantics(self):
+        t = mux_table()
+        # pin order (S, A, B): S=0 -> A, S=1 -> B
+        assert t(0, 1, 0) == 1
+        assert t(1, 1, 0) == 0
+        assert t(1, 0, 1) == 1
+
+    def test_nand_table(self):
+        assert nand_table(2).mask == 0b0111
+
+    def test_dff_is_sequential(self):
+        dff = make_dff()
+        assert dff.is_sequential
+        assert dff.output_pin == "Q"
+        assert dff.feasible is None
+
+    def test_arity_mismatch_rejected(self):
+        cell = make_nd2wi()
+        assert not cell.can_implement(nand_table(3))
+
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            CellType(
+                name="BAD", pins=("A",), feasible=None, area=1.0,
+                input_caps={"X": 1.0},
+            )
+
+    def test_feasible_arity_validated(self):
+        with pytest.raises(ValueError):
+            CellType(
+                name="BAD", pins=("A",),
+                feasible=frozenset({nand_table(2)}),
+                area=1.0, input_caps={"A": 1.0},
+            )
+
+
+class TestDelayModel:
+    def test_delay_increases_with_load(self):
+        for cell in standard_cells().values():
+            assert cell.delay(8.0) > cell.delay(1.0)
+
+    def test_lut3_slower_than_nd3_at_equal_load(self):
+        # The paper's core premise: the LUT is substantially inferior for
+        # simple functions.
+        assert make_lut3().delay(4.0) > make_nd3wi().delay(4.0)
+
+    def test_xoa_faster_than_mux2_under_load(self):
+        # The up-sized XOA has more drive.
+        assert make_xoa().delay(8.0) < make_mux2().delay(8.0)
+
+    def test_inverter_fo4(self):
+        inv = make_inv()
+        fo4 = inv.delay(4.0)
+        assert 0.02 < fo4 < 0.12  # plausible 0.18um FO4 in ns
+
+
+class TestLibraries:
+    def test_lut_library_contents(self):
+        lib = lut_plb_library()
+        assert "LUT3" in lib and "ND3WI" in lib and "DFF" in lib
+        assert "MUX2" not in lib
+
+    def test_granular_library_contents(self):
+        lib = granular_plb_library()
+        assert "MUX2" in lib and "XOA" in lib and "ND3WI" in lib
+        assert "LUT3" not in lib
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(LibraryError):
+            Library("dup", [make_inv(), make_inv()])
+
+    def test_unknown_cell_lookup(self):
+        with pytest.raises(LibraryError):
+            lut_plb_library().cell("NOPE")
+
+    def test_best_match_prefers_small_cell(self, lut_lib):
+        match = lut_lib.best_match(nand_table(3))
+        assert match.cell.name == "ND3WI"
+
+    def test_match_uses_permutation(self, gran_lib):
+        # f = B ? C : A is a mux with permuted pins.
+        a, b, c = TruthTable.inputs(3)
+        match = gran_lib.best_match(TruthTable.mux(b, a, c))
+        assert match is not None
+        assert match.cell.name in ("MUX2", "XOA")
+
+    def test_no_match_for_unsupported(self, gran_lib):
+        # 3-input XOR is not a single granular cell.
+        a, b, c = TruthTable.inputs(3)
+        assert gran_lib.best_match(a ^ b ^ c) is None
+
+    def test_generic_library_has_everything(self):
+        lib = generic_library()
+        assert len(lib) == len(standard_cells())
+
+    def test_combinational_sequential_split(self, lut_lib):
+        seq = lut_lib.sequential()
+        assert [c.name for c in seq] == ["DFF"]
+        assert all(not c.is_sequential for c in lut_lib.combinational())
+
+
+class TestCharacterization:
+    def test_table_monotone(self):
+        cc = characterize_cell(make_nd3wi())
+        delays = [cc.delay(load) for load in DEFAULT_LOAD_POINTS]
+        assert delays == sorted(delays)
+
+    def test_interpolation_between_points(self):
+        cc = characterize_cell(make_inv())
+        mid = cc.delay(3.0)
+        assert cc.delay(2.0) < mid < cc.delay(4.0)
+
+    def test_extrapolation_beyond_last_point(self):
+        cc = characterize_cell(make_buf())
+        assert cc.delay(64.0) > cc.delay(32.0)
+
+    def test_library_characterization_covers_all(self, lut_lib):
+        tl = characterize_library(lut_lib)
+        for cell in lut_lib:
+            assert cell.name in tl
+            assert tl.delay(cell.name, 2.0) > 0
+
+    def test_pin_caps_exposed(self, gran_lib):
+        tl = characterize_library(gran_lib)
+        assert tl.pin_cap("MUX2", "S") > tl.pin_cap("MUX2", "A")
+
+    def test_slew_penalty_superlinear(self):
+        cc = characterize_cell(make_inv())
+        # Slope must grow at high load due to the slew term.
+        low_slope = cc.delay(2.0) - cc.delay(1.0)
+        high_slope = (cc.delay(32.0) - cc.delay(16.0)) / 16.0
+        assert high_slope > low_slope / 1.0 * 0.9  # sanity: not decreasing

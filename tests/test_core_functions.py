@@ -1,0 +1,197 @@
+"""Tests for the paper's Section 2.1 function analysis — every published
+count is asserted here."""
+
+import pytest
+
+from repro.core.functions3 import (
+    SELECT_INDEX,
+    cofactors_about_select,
+    from_cofactors,
+    is_and_type,
+    is_xor_type,
+    literal_sources_3in,
+    mux2_implementable_2in,
+    mux2_implementable_3in,
+    nd2wi_implementable_2in,
+    nd3wi_implementable_3in,
+)
+from repro.core.s3 import (
+    S3Category,
+    category_counts,
+    classify_infeasible,
+    find_modified_s3_config,
+    infeasible_by_category,
+    modified_s3_implementable,
+    s3_feasible,
+    s3_feasible_set,
+    s3_infeasible_set,
+)
+from repro.logic.truthtable import TruthTable, all_functions
+
+
+class TestComponentSets:
+    def test_nd2wi_count_is_14(self):
+        # Paper: ND2WI implements 14 of the 16 2-input functions.
+        assert len(nd2wi_implementable_2in()) == 14
+
+    def test_nd2wi_missing_exactly_xor_xnor(self):
+        a, b = TruthTable.inputs(2)
+        missing = set(all_functions(2)) - set(nd2wi_implementable_2in())
+        assert missing == {a ^ b, ~(a ^ b)}
+
+    def test_mux2_covers_all_16(self):
+        # Paper: "a 2:1 MUX can implement all 2-input functions".
+        assert len(mux2_implementable_2in()) == 16
+
+    def test_nd3wi_3in_core_variants(self):
+        # The 16 NAND3 polarity variants are all present.
+        a, b, c = TruthTable.inputs(3)
+        table = nd3wi_implementable_3in()
+        for flips in range(8):
+            x = ~a if flips & 1 else a
+            y = ~b if flips & 2 else b
+            z = ~c if flips & 4 else c
+            assert ~(x & y & z) in table
+            assert (x & y & z) in table
+
+    def test_nd3wi_excludes_majority_and_parity(self):
+        a, b, c = TruthTable.inputs(3)
+        table = nd3wi_implementable_3in()
+        assert ((a & b) | (b & c) | (a & c)) not in table
+        assert (a ^ b ^ c) not in table
+
+    def test_mux2_3in_count(self):
+        # The MX configuration covers 62 of the 256 3-input functions.
+        assert len(mux2_implementable_3in()) == 62
+
+    def test_literal_sources(self):
+        sources = literal_sources_3in()
+        assert len(sources) == 8  # 6 literals + 2 constants
+
+
+class TestCofactors:
+    def test_roundtrip_all_256(self):
+        for table in all_functions(3):
+            g, h = cofactors_about_select(table)
+            assert from_cofactors(g, h) == table
+
+    def test_select_index(self):
+        s = TruthTable.input_var(3, SELECT_INDEX)
+        g, h = cofactors_about_select(s)
+        assert g == TruthTable.constant(2, False)
+        assert h == TruthTable.constant(2, True)
+
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            cofactors_about_select(TruthTable(2, 6))
+        with pytest.raises(ValueError):
+            from_cofactors(TruthTable(1, 2), TruthTable(2, 6))
+
+    def test_is_xor_type(self):
+        a, b = TruthTable.inputs(2)
+        assert is_xor_type(a ^ b)
+        assert is_xor_type(~(a ^ b))
+        assert not is_xor_type(a & b)
+
+
+class TestS3Feasibility:
+    def test_feasible_count_is_196(self):
+        # The paper's headline count.
+        assert len(s3_feasible_set()) == 196
+
+    def test_infeasible_count_is_60(self):
+        assert len(s3_infeasible_set()) == 60
+
+    def test_partition(self):
+        assert s3_feasible_set() | s3_infeasible_set() == frozenset(all_functions(3))
+        assert not (s3_feasible_set() & s3_infeasible_set())
+
+    def test_infeasible_iff_xor_cofactor(self):
+        for table in all_functions(3):
+            g, h = cofactors_about_select(table)
+            has_xor = is_xor_type(g) or is_xor_type(h)
+            assert s3_feasible(table) == (not has_xor)
+
+    def test_parity_functions_infeasible(self):
+        a, b, c = TruthTable.inputs(3)
+        assert not s3_feasible(a ^ b ^ c)
+        assert not s3_feasible(~(a ^ b ^ c))
+
+    def test_simple_gates_feasible(self):
+        a, b, c = TruthTable.inputs(3)
+        for f in (a & b & c, ~(a & b & c), a | b | c, ~((a & b) | c)):
+            assert s3_feasible(f)
+
+    def test_arity_guard(self):
+        with pytest.raises(ValueError):
+            s3_feasible(TruthTable(2, 6))
+
+
+class TestFigure2Categories:
+    def test_category_counts(self):
+        counts = category_counts()
+        assert counts[S3Category.ND2WI_COFACTOR_WITH_XOR] == 28
+        assert counts[S3Category.XOR_COFACTOR_WITH_ND2WI] == 28
+        assert counts[S3Category.BOTH_XOR] == 1
+        assert counts[S3Category.BOTH_XNOR] == 1
+        assert counts[S3Category.COMPLEMENTARY_XOR] == 2
+        assert sum(counts.values()) == 60
+
+    def test_both_xor_is_2input_xor(self):
+        # Paper: categories 3 and 4 simplify to 2-input XOR / XNOR.
+        a, b, _c = TruthTable.inputs(3)
+        members = infeasible_by_category()[S3Category.BOTH_XOR]
+        assert members == frozenset({a ^ b})
+
+    def test_complementary_is_3input_parity(self):
+        # Paper: category 5 corresponds to the 3-input XOR / XNOR.
+        a, b, c = TruthTable.inputs(3)
+        members = infeasible_by_category()[S3Category.COMPLEMENTARY_XOR]
+        assert members == frozenset({a ^ b ^ c, ~(a ^ b ^ c)})
+
+    def test_classify_rejects_feasible(self):
+        a, b, c = TruthTable.inputs(3)
+        with pytest.raises(ValueError):
+            classify_infeasible(a & b & c)
+
+    def test_categories_partition_infeasible(self):
+        union = frozenset()
+        for members in infeasible_by_category().values():
+            assert not (union & members)
+            union |= members
+        assert union == s3_infeasible_set()
+
+
+class TestModifiedS3:
+    def test_covers_all_256(self):
+        # Paper Figure 3: the modified S3 implements all 3-input functions.
+        assert len(modified_s3_implementable()) == 256
+
+    def test_find_config_for_every_function(self):
+        for mask in range(0, 256, 7):
+            table = TruthTable(3, mask)
+            config = find_modified_s3_config(table)
+            assert config.output() == table
+
+    def test_find_config_parity(self):
+        a, b, c = TruthTable.inputs(3)
+        config = find_modified_s3_config(a ^ b ^ c)
+        assert config.output() == (a ^ b ^ c)
+
+    def test_find_config_arity_guard(self):
+        with pytest.raises(ValueError):
+            find_modified_s3_config(TruthTable(2, 6))
+
+
+class TestAndType:
+    def test_and_type_positive(self):
+        a, b, c = TruthTable.inputs(3)
+        assert is_and_type(a & b & c)
+        assert is_and_type(~(a & ~b))
+        assert is_and_type(a | b)  # OR is NAND of complements
+
+    def test_and_type_negative(self):
+        a, b, c = TruthTable.inputs(3)
+        assert not is_and_type(a ^ b)
+        assert not is_and_type((a & b) | (b & c) | (a & c))
+        assert not is_and_type(TruthTable.constant(2, True))

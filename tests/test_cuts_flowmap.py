@@ -1,0 +1,152 @@
+"""Unit tests for cut enumeration and FlowMap."""
+
+import pytest
+
+from repro.logic.truthtable import TruthTable
+from repro.synth.aig import AIG
+from repro.synth.cuts import cut_function, enumerate_cuts, fanout_counts
+from repro.synth.flowmap import FlowMap, flowmap_labels
+
+
+def adder_bit_aig():
+    g = AIG("fa")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    cin = g.add_input("cin")
+    p = g.xor2(a, b)
+    g.add_output("sum", g.xor2(p, cin))
+    g.add_output("cout", g.mux(p, g.and2(a, b), cin))
+    return g
+
+
+class TestCuts:
+    def test_trivial_cuts_present(self):
+        g = adder_bit_aig()
+        cuts = enumerate_cuts(g, k=3)
+        for node in g.and_nodes():
+            assert (node,) in cuts[node]
+
+    def test_cut_sizes_bounded(self):
+        g = adder_bit_aig()
+        for node, node_cuts in enumerate_cuts(g, k=3).items():
+            assert all(len(c) <= 3 for c in node_cuts)
+
+    def test_domination_pruning(self):
+        g = adder_bit_aig()
+        cuts = enumerate_cuts(g, k=3)
+        for node, node_cuts in cuts.items():
+            for i, a in enumerate(node_cuts):
+                for j, b in enumerate(node_cuts):
+                    if i != j:
+                        assert not set(a) < set(b)
+
+    def test_cut_function_xor(self):
+        g = AIG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        y = g.xor2(a, b)
+        node = y >> 1
+        cuts = enumerate_cuts(g, k=2)
+        best = next(c for c in cuts[node] if set(c) == {1, 2})
+        table = cut_function(g, node, best)
+        x0, x1 = TruthTable.inputs(2)
+        # Output polarity of the node itself (not the literal):
+        assert table in ((x0 ^ x1), ~(x0 ^ x1))
+
+    def test_tree_mode_blocks_fanout_crossing(self):
+        g = adder_bit_aig()
+        fanouts = fanout_counts(g)
+        cuts = enumerate_cuts(g, k=3, tree_mode=True)
+        for node, node_cuts in cuts.items():
+            for cut in node_cuts:
+                for leaf in cut:
+                    # Leaves may be multi-fanout; interior nodes may not.
+                    pass  # structural check below via cut_function validity
+        # All cut functions must still be computable.
+        for node, node_cuts in cuts.items():
+            for cut in node_cuts:
+                if node not in cut and 0 not in cut:
+                    cut_function(g, node, cut)
+
+    def test_fanout_counts(self):
+        g = adder_bit_aig()
+        counts = fanout_counts(g)
+        # p = xor(a,b) feeds both outputs' logic: its top node has >1 fanout.
+        assert any(v > 1 for v in counts.values())
+
+
+class TestFlowMap:
+    def test_sources_label_zero(self):
+        fanins = {"x": (), "y": ("x",)}
+        result = flowmap_labels(fanins, k=3)
+        assert result.labels["x"] == 0
+        assert result.labels["y"] == 1
+
+    def test_chain_collapses_to_one_level(self):
+        # A chain of 3 single-input nodes fits one K=3 cluster.
+        fanins = {"a": (), "n1": ("a",), "n2": ("n1",), "n3": ("n2",)}
+        result = flowmap_labels(fanins, k=3)
+        assert result.labels["n3"] == 1
+        assert result.cuts["n3"] == frozenset({"a"})
+
+    def test_wide_tree_needs_two_levels(self):
+        # 9 sources into a 3-ary tree: depth-2 mapping for K=3.
+        fanins = {f"s{i}": () for i in range(9)}
+        for j in range(3):
+            fanins[f"m{j}"] = tuple(f"s{3 * j + i}" for i in range(3))
+        fanins["root"] = ("m0", "m1", "m2")
+        result = flowmap_labels(fanins, k=3)
+        assert result.labels["root"] == 2
+        assert result.cuts["root"] == frozenset({"m0", "m1", "m2"})
+
+    def test_reconvergence_found(self):
+        # Diamond: root over two nodes sharing both sources; K=2 cut at
+        # the sources exists even though fanins are 2 distinct nodes.
+        fanins = {
+            "a": (), "b": (),
+            "l": ("a", "b"), "r": ("a", "b"),
+            "root": ("l", "r"),
+        }
+        result = flowmap_labels(fanins, k=2)
+        assert result.labels["root"] == 1
+        assert result.cuts["root"] == frozenset({"a", "b"})
+
+    def test_cuts_are_valid_separators(self):
+        g = adder_bit_aig()
+        fanins = {}
+        for node in g.and_nodes():
+            f0, f1 = g.fanins(node)
+            fanins[node] = tuple({f0 >> 1, f1 >> 1})
+        for node in range(1, g.n_inputs + 1):
+            fanins.setdefault(node, ())
+        fanins.setdefault(0, ())
+        result = FlowMap(fanins, k=3).compute()
+        for node, cut in result.cuts.items():
+            if not fanins.get(node):
+                continue
+            # Every path from sources must hit the cut: walk up from node,
+            # stopping at cut members.
+            stack = list(fanins[node])
+            while stack:
+                current = stack.pop()
+                if current in cut:
+                    continue
+                assert fanins.get(current), (
+                    f"path escaped cut {cut} at source {current} for {node}"
+                )
+                stack.extend(fanins[current])
+
+    def test_labels_monotone_along_edges(self):
+        g = adder_bit_aig()
+        fanins = {}
+        for node in g.and_nodes():
+            f0, f1 = g.fanins(node)
+            fanins[node] = tuple({f0 >> 1, f1 >> 1})
+        result = FlowMap(fanins, k=3).compute()
+        for node, fs in fanins.items():
+            for f in fs:
+                assert result.labels[node] >= result.labels.get(f, 0)
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            FlowMap({"a": ("b",), "b": ("a",)}).compute()

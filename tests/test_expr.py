@@ -1,0 +1,76 @@
+"""Unit tests for the Boolean expression front end."""
+
+import pytest
+
+from repro.logic.expr import ExprError, parse, table_from_expr, tokenize, variables
+from repro.logic.truthtable import TruthTable
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("a & ~b") == ["a", "&", "~", "b"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ExprError):
+            tokenize("a @ b")
+
+    def test_constants(self):
+        assert tokenize("0 | 1") == ["0", "|", "1"]
+
+
+class TestParser:
+    def test_precedence_and_over_xor_over_or(self):
+        a, b, c = TruthTable.inputs(3)
+        t = table_from_expr("a | b ^ c & a", inputs=("a", "b", "c"))
+        assert t == (a | (b ^ (c & a)))
+
+    def test_parentheses(self):
+        a, b, c = TruthTable.inputs(3)
+        assert table_from_expr("(a | b) & c", inputs=("a", "b", "c")) == ((a | b) & c)
+
+    def test_not_binds_tight(self):
+        a, b = TruthTable.inputs(2)
+        assert table_from_expr("~a & b", inputs=("a", "b")) == (~a & b)
+
+    def test_double_negation(self):
+        a = TruthTable.input_var(1, 0)
+        assert table_from_expr("~~a", inputs=("a",)) == a
+
+    def test_missing_paren(self):
+        with pytest.raises(ExprError):
+            parse("(a & b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ExprError):
+            parse("a b")
+
+    def test_empty(self):
+        with pytest.raises(ExprError):
+            parse("")
+
+
+class TestEvaluation:
+    def test_variables_first_appearance_order(self):
+        assert variables(parse("b & a | b")) == ("b", "a")
+
+    def test_default_input_order(self):
+        t = table_from_expr("y & x")
+        # y is input 0, x is input 1 by first appearance.
+        assert t(1, 1) == 1
+        assert t(1, 0) == 0
+
+    def test_constants_evaluate(self):
+        assert table_from_expr("a & 0", inputs=("a",)).is_constant()
+        assert table_from_expr("a | 1", inputs=("a",)) == TruthTable.constant(1, True)
+
+    def test_unknown_variable(self):
+        with pytest.raises(ExprError):
+            table_from_expr("a & b", inputs=("a",))
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ExprError):
+            table_from_expr("a", inputs=("a", "a"))
+
+    def test_nand3(self):
+        t = table_from_expr("~(a & b & c)")
+        assert t.minterm_count() == 7

@@ -1,0 +1,150 @@
+"""Integration tests for the full design flow (paper Figure 6)."""
+
+import pytest
+
+from repro.flow.experiments import (
+    Figure2Data,
+    Table1,
+    Table1Row,
+    Table2,
+    Table2Row,
+    build_design,
+    run_figure2,
+)
+from repro.flow.flow import FlowOptions, architecture_of, run_design, synthesize
+from repro.netlist.simulate import outputs_equal
+from repro.netlist.validate import check
+
+from conftest import make_ripple_design
+
+FAST = FlowOptions(place_effort=0.05, place_iterations=1, pack_iterations=1)
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    """Both architectures on a small adder design, full flow a + b."""
+    runs = {}
+    for arch in ("lut", "granular"):
+        src = make_ripple_design(width=6, name="flowtest")
+        runs[arch] = (src, run_design(src.copy(), arch, FAST))
+    return runs
+
+
+class TestArchitectureLookup:
+    def test_known(self):
+        assert architecture_of("lut").name == "lut"
+        assert architecture_of("granular").name == "granular"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            architecture_of("cpld")
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("arch", ["lut", "granular"])
+    def test_stats_and_report(self, arch):
+        src = make_ripple_design(width=4)
+        result = synthesize(src.copy(), FAST.with_arch(arch))
+        check(result.netlist)
+        assert result.stats.total_area <= result.pre_compaction_stats.total_area
+        assert result.compaction.area_after <= result.compaction.area_before
+
+    def test_compaction_can_be_disabled(self):
+        from dataclasses import replace
+
+        src = make_ripple_design(width=4)
+        options = replace(FAST.with_arch("granular"), run_compaction=False)
+        result = synthesize(src.copy(), options)
+        assert not result.compaction.applied
+
+
+class TestFullFlow:
+    @pytest.mark.parametrize("arch", ["lut", "granular"])
+    def test_flow_results_sane(self, small_runs, arch):
+        _src, run = small_runs[arch]
+        for result in (run.flow_a, run.flow_b):
+            assert result.die_area > 0
+            assert result.timing.critical_path_delay > 0
+            assert result.routing.nets
+        assert run.flow_a.flow == "a"
+        assert run.flow_b.flow == "b"
+        assert run.flow_b.plbs_used > 0
+        assert run.flow_b.array_side > 0
+
+    @pytest.mark.parametrize("arch", ["lut", "granular"])
+    def test_flow_preserves_function(self, small_runs, arch):
+        src, run = small_runs[arch]
+        assert outputs_equal(src, run.physical.netlist, n_cycles=3)
+
+    def test_flow_b_area_exceeds_cells(self, small_runs):
+        # The PLB array must cost at least the netlist's own cell area.
+        for arch, (_src, run) in small_runs.items():
+            assert run.flow_b.die_area > run.flow_b.netlist_stats.total_area
+
+    def test_granular_packs_denser(self, small_runs):
+        # The adder workload: granular needs fewer PLBs than LUT-based
+        # (the paper's packing-efficiency claim at design scale).
+        _s, gran = small_runs["granular"]
+        _s, lut = small_runs["lut"]
+        assert gran.flow_b.plbs_used < lut.flow_b.plbs_used
+
+
+class TestExperimentHelpers:
+    def test_build_design_scales(self):
+        small = build_design("alu", scale=0.4)
+        large = build_design("alu", scale=1.0)
+        assert len(large.instances) > len(small.instances)
+
+    def test_build_design_unknown(self):
+        with pytest.raises(ValueError):
+            build_design("cpu", scale=1.0)
+
+    def test_all_designs_buildable_small(self):
+        for name in ("alu", "firewire", "fpu", "netswitch"):
+            netlist = build_design(name, scale=0.3)
+            check(netlist)
+
+    def test_figure2_exact(self):
+        data = run_figure2()
+        assert isinstance(data, Figure2Data)
+        assert data.s3_feasible == 196
+        assert data.s3_infeasible == 60
+        assert data.modified_s3_coverage == 256
+        assert sum(data.category_counts.values()) == 60
+        assert "196" in data.format()
+
+
+class TestTableDataclasses:
+    def test_table1_row_metrics(self):
+        row = Table1Row("d", granular_flow_a=100, granular_flow_b=130,
+                        lut_flow_a=150, lut_flow_b=200)
+        assert row.granular_reduction == pytest.approx(0.35)
+        assert row.granular_overhead == 30
+        assert row.lut_overhead == 50
+
+    def test_table1_aggregates(self):
+        rows = {
+            name: Table1Row(name, 100, 120, 150, 200)
+            for name in ("alu", "fpu", "netswitch", "firewire")
+        }
+        table = Table1(rows=rows)
+        assert table.datapath_average_reduction == pytest.approx(0.4)
+        assert 0 < table.datapath_overhead_reduction < 1
+        assert "Table 1" in table.format()
+
+    def test_table2_row_metrics(self):
+        row = Table2Row("d", n_gates=100, granular_flow_a=-0.4,
+                        granular_flow_b=-0.8, lut_flow_a=-0.5, lut_flow_b=-1.0)
+        assert row.slack_improvement == pytest.approx(0.2)
+        assert row.granular_degradation == pytest.approx(0.4)
+        assert row.lut_degradation == pytest.approx(0.5)
+
+    def test_table2_aggregates(self):
+        rows = {
+            "alu": Table2Row("alu", 100, -0.4, -0.8, -0.5, -1.0),
+            "fpu": Table2Row("fpu", 200, -0.2, -0.4, -0.6, -0.8),
+        }
+        table = Table2(rows=rows, period=0.5)
+        assert table.average_slack_improvement > 0
+        assert table.degradation_reduction == pytest.approx(1 - 0.6 / 0.7)
+        assert "Table 2" in table.format()

@@ -1,0 +1,243 @@
+"""Unit tests for the netlist data structure and builder."""
+
+import pytest
+
+from repro.cells.celltypes import make_dff, make_inv, make_nd2wi
+from repro.logic.truthtable import TruthTable
+from repro.netlist.build import CONST0, CONST1, NetlistBuilder, capture_cell, is_capture
+from repro.netlist.core import Netlist, NetlistError
+from repro.netlist.stats import gather, nand2_equivalents
+from repro.netlist.validate import check, validate
+
+
+def and_config():
+    a, b = TruthTable.inputs(2)
+    return a & b
+
+
+class TestNetlistCore:
+    def test_add_input_and_instance(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        b = n.add_input("b")
+        inst = n.add_instance(make_nd2wi(), {"A": a, "B": b}, config=~and_config())
+        assert n.nets[inst.output_net].driver == (inst.name, "Y")
+        assert ("a" in n.nets) and n.nets["a"].is_input
+
+    def test_double_drive_rejected(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        n.add_instance(make_inv(), {"A": a, "Y": "y"}, config=~TruthTable.input_var(1, 0))
+        with pytest.raises(NetlistError):
+            n.add_instance(make_inv(), {"A": a, "Y": "y"}, config=~TruthTable.input_var(1, 0))
+
+    def test_driving_an_input_rejected(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_instance(make_inv(), {"A": a, "Y": a}, config=~TruthTable.input_var(1, 0))
+
+    def test_config_feasibility_enforced(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        b = n.add_input("b")
+        xor = TruthTable(2, 0b0110)
+        with pytest.raises(NetlistError):
+            n.add_instance(make_nd2wi(), {"A": a, "B": b}, config=xor)
+
+    def test_sequential_takes_no_config(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_instance(make_dff(), {"D": a}, config=TruthTable(1, 2))
+
+    def test_missing_pin_rejected(self):
+        n = Netlist("t")
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_instance(make_nd2wi(), {"A": "a"}, config=~and_config())
+
+    def test_remove_instance(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        inst = n.add_instance(make_inv(), {"A": a}, config=~TruthTable.input_var(1, 0))
+        out = inst.output_net
+        n.remove_instance(inst.name)
+        assert n.nets[out].driver is None
+        assert not n.nets[a].sinks
+
+    def test_remove_net_in_use_rejected(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.remove_net(a)
+
+    def test_rename_net(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        inst = n.add_instance(make_inv(), {"A": a}, config=~TruthTable.input_var(1, 0))
+        old = inst.output_net
+        n.add_output(old)
+        n.rename_net(old, "zz")
+        assert "zz" in n.nets and old not in n.nets
+        assert inst.pin_nets["Y"] == "zz"
+        assert n.outputs == ["zz"]
+
+    def test_rename_collision_rejected(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        b = n.add_input("b")
+        with pytest.raises(NetlistError):
+            n.rename_net(a, b)
+
+    def test_topological_order(self, ripple_design):
+        order = ripple_design.topological_order()
+        seen = set()
+        for inst in order:
+            for net in inst.input_nets():
+                driver = ripple_design.driver_of(net)
+                if driver is not None and not driver.is_sequential:
+                    assert driver.name in seen
+            seen.add(inst.name)
+
+    def test_copy_is_deep(self, ripple_design):
+        clone = ripple_design.copy()
+        assert len(clone.instances) == len(ripple_design.instances)
+        assert clone.inputs == ripple_design.inputs
+        name = next(iter(clone.instances))
+        clone.remove_instance(name)
+        assert name in ripple_design.instances
+
+    def test_sweep_dangling(self):
+        n = Netlist("t")
+        a = n.add_input("a")
+        inv = ~TruthTable.input_var(1, 0)
+        kept = n.add_instance(make_inv(), {"A": a}, config=inv)
+        n.add_output(kept.output_net)
+        dead1 = n.add_instance(make_inv(), {"A": a}, config=inv)
+        n.add_instance(make_inv(), {"A": dead1.output_net}, config=inv)
+        removed = n.sweep_dangling()
+        assert removed == 2
+        assert len(n.instances) == 1
+
+    def test_transitive_fanin(self, ripple_design):
+        cone = ripple_design.transitive_fanin("cout")
+        assert cone  # non-trivial
+        assert all(name in ripple_design.instances for name in cone)
+
+
+class TestBuilder:
+    def test_constant_folding_and(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        assert b.AND(x, CONST1) == x
+        assert b.AND(x, CONST0) == CONST0
+
+    def test_constant_folding_xor(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        assert b.XOR(x, CONST0) == x
+        # XOR with 1 becomes an inverter instance.
+        out = b.XOR(x, CONST1)
+        assert out not in (CONST0, CONST1, x)
+
+    def test_duplicate_operand_folding(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        assert b.AND(x, x) == x
+        assert b.XOR(x, x) == CONST0
+        assert b.OR(x, x) == x
+
+    def test_not_of_constants(self):
+        b = NetlistBuilder("t")
+        assert b.NOT(CONST0) == CONST1
+        assert b.NOT(CONST1) == CONST0
+
+    def test_mux_folds_same_data(self):
+        b = NetlistBuilder("t")
+        s = b.input("s")
+        x = b.input("x")
+        assert b.MUX(s, x, x) == x
+
+    def test_mux_collapses_to_and(self):
+        b = NetlistBuilder("t")
+        s = b.input("s")
+        x = b.input("x")
+        out = b.MUX(s, CONST0, x)
+        inst = b.netlist.driver_of(out)
+        assert inst.config == and_config()
+
+    def test_wide_gates_tree(self):
+        b = NetlistBuilder("t")
+        xs = b.input_word("x", 9)
+        out = b.AND(*xs)
+        assert out in b.netlist.nets
+        # Tree of 3-input gates: ceil(9/3) + ... some instances
+        assert len(b.netlist.instances) >= 4
+
+    def test_output_naming(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        y = b.NOT(x)
+        b.output(y, "out")
+        assert "out" in b.netlist.outputs[0] or b.netlist.outputs == ["out"]
+
+    def test_output_of_constant_materializes(self):
+        b = NetlistBuilder("t")
+        b.input("x")
+        b.output(CONST1, "one")
+        check(b.netlist)
+
+    def test_dff_roundtrip(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        q = b.DFF(x)
+        b.output(q, "q")
+        assert sum(1 for _ in b.netlist.sequential_instances()) == 1
+
+    def test_capture_cell_cache(self):
+        t = TruthTable(2, 0b0110)
+        assert capture_cell(t) is capture_cell(t)
+        assert is_capture(capture_cell(t))
+
+    def test_capture_cell_arity_bounds(self):
+        with pytest.raises(NetlistError):
+            capture_cell(TruthTable(0, 1))
+
+    def test_gate_arity_mismatch(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        with pytest.raises(NetlistError):
+            b.gate(TruthTable(2, 0b0110), x)
+
+
+class TestValidateAndStats:
+    def test_clean_design_validates(self, ripple_design):
+        assert validate(ripple_design) == []
+
+    def test_undriven_net_flagged(self):
+        n = Netlist("t")
+        n.add_net("floating")
+        problems = validate(n)
+        assert any("undriven" in p for p in problems)
+
+    def test_check_raises(self):
+        n = Netlist("t")
+        n.add_net("floating")
+        with pytest.raises(NetlistError):
+            check(n)
+
+    def test_missing_output_net_flagged(self):
+        n = Netlist("t")
+        n.outputs.append("ghost")
+        assert any("ghost" in p for p in validate(n))
+
+    def test_stats(self, ripple_design):
+        st = gather(ripple_design)
+        assert st.n_instances == len(ripple_design.instances)
+        assert st.n_sequential == 5
+        assert st.total_area == st.combinational_area + st.sequential_area
+        assert 0 < st.sequential_fraction < 1
+
+    def test_nand2_equivalents_positive(self, ripple_design):
+        assert nand2_equivalents(ripple_design) > 0

@@ -1,0 +1,65 @@
+"""Unit tests for NPN canonicalization."""
+
+from repro.logic.npn import (
+    npn_canonical,
+    npn_canonical_with_transform,
+    npn_class,
+    npn_classes,
+    npn_equivalent,
+    npn_transforms,
+)
+from repro.logic.truthtable import TruthTable, all_functions
+
+
+class TestCanonical:
+    def test_class_counts_classic(self):
+        # Classic NPN class counts: n=1 -> 2, n=2 -> 4, n=3 -> 14.
+        assert len(npn_classes(1)) == 2
+        assert len(npn_classes(2)) == 4
+        assert len(npn_classes(3)) == 14
+
+    def test_canonical_idempotent(self):
+        for table in all_functions(2):
+            canon = npn_canonical(table)
+            assert npn_canonical(canon) == canon
+
+    def test_canonical_transform_consistent(self):
+        for mask in (0x00, 0x6A, 0x96, 0xE8, 0x17):
+            table = TruthTable(3, mask)
+            canon, transform = npn_canonical_with_transform(table)
+            assert transform.apply(table) == canon
+
+    def test_and_or_same_class(self):
+        a, b = TruthTable.inputs(2)
+        assert npn_equivalent(a & b, a | b)
+        assert npn_equivalent(a & b, ~(a & b))
+
+    def test_xor_not_and_class(self):
+        a, b = TruthTable.inputs(2)
+        assert not npn_equivalent(a ^ b, a & b)
+
+    def test_different_arity_never_equivalent(self):
+        assert not npn_equivalent(TruthTable(1, 2), TruthTable(2, 10))
+
+
+class TestClassEnumeration:
+    def test_class_membership(self):
+        a, b = TruthTable.inputs(2)
+        members = npn_class(a & b)
+        assert (a | b) in members
+        assert (~a & ~b) in members
+        assert (a ^ b) not in members
+
+    def test_classes_partition_all_functions(self):
+        covered = set()
+        for representative in npn_classes(2):
+            covered |= {t.mask for t in npn_class(representative)}
+        assert covered == set(range(16))
+
+    def test_transform_count(self):
+        assert sum(1 for _ in npn_transforms(2)) == 2 * 4 * 2  # perms * flips * out
+        assert sum(1 for _ in npn_transforms(3)) == 6 * 8 * 2
+
+    def test_parity_class_size(self):
+        a, b, c = TruthTable.inputs(3)
+        assert npn_class(a ^ b ^ c) == frozenset({a ^ b ^ c, ~(a ^ b ^ c)})

@@ -1,0 +1,162 @@
+"""Unit tests for PLB packing: resources, quadrisection, iteration."""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.cells.characterize import characterize_library
+from repro.netlist.simulate import outputs_equal
+from repro.pack.iterative import run_packing_loop
+from repro.pack.quadrisection import pack
+from repro.pack.resources import (
+    PackingError,
+    SlotPool,
+    min_plbs,
+    region_fits,
+    size_array,
+)
+from repro.place.grid import grid_for_netlist
+from repro.place.sa import AnnealingPlacer
+from repro.synth.from_netlist import extract_core
+from repro.synth.techmap import map_core
+
+from conftest import make_ripple_design
+
+
+@pytest.fixture(scope="module")
+def mapped_designs():
+    """Ripple design mapped onto both architectures with placements."""
+    from repro.cells.library import granular_plb_library, lut_plb_library
+    from repro.core.plb import granular_plb, lut_plb
+
+    out = {}
+    src = make_ripple_design(width=6)
+    for arch_name, arch, lib in (
+        ("granular", granular_plb(), granular_plb_library()),
+        ("lut", lut_plb(), lut_plb_library()),
+    ):
+        mapped = map_core(extract_core(src), arch_name, lib)
+        grid = grid_for_netlist(mapped)
+        placement = AnnealingPlacer(mapped, grid, seed=1, effort=0.05).place()
+        out[arch_name] = (src, mapped, placement, arch, lib)
+    return out
+
+
+class TestSlotPool:
+    def test_take_release(self, gran_arch):
+        pool = SlotPool.for_plbs(gran_arch, 1)
+        assert pool.free("MUX2") == 2
+        pool.take("MUX2")
+        pool.take("MUX2")
+        assert pool.free("MUX2") == 0
+        with pytest.raises(PackingError):
+            pool.take("MUX2")
+        pool.release("MUX2")
+        assert pool.free("MUX2") == 1
+
+    def test_can_host_preference_order(self, gran_arch):
+        pool = SlotPool.for_plbs(gran_arch, 1)
+        # ND2WI prefers the ND3WI slot; once taken, falls to mux slots.
+        assert pool.can_host(gran_arch, "ND2WI") == "ND3WI"
+        pool.take("ND3WI")
+        assert pool.can_host(gran_arch, "ND2WI") in ("XOA", "MUX2")
+
+
+class TestSizing:
+    def test_min_plbs_lower_bounds(self, mapped_designs, gran_arch):
+        _src, mapped, _placement, arch, _lib = mapped_designs["granular"]
+        n = min_plbs(arch, mapped)
+        dffs = sum(1 for _ in mapped.sequential_instances())
+        assert n >= dffs  # one DFF slot per PLB
+
+    def test_region_fits_monotone(self, mapped_designs):
+        _src, mapped, _placement, arch, _lib = mapped_designs["granular"]
+        instances = list(mapped.instances.values())
+        n = min_plbs(arch, mapped)
+        assert region_fits(arch, instances, n)
+        assert not region_fits(arch, instances, max(1, n - 1))
+        assert region_fits(arch, instances, n + 5)
+
+    def test_size_array_covers_need(self, mapped_designs):
+        _src, mapped, _placement, arch, _lib = mapped_designs["granular"]
+        cols, rows = size_array(arch, mapped)
+        assert cols * rows >= min_plbs(arch, mapped)
+
+    def test_unhostable_cell_rejected(self, gran_arch):
+        from repro.cells.celltypes import make_lut3
+        from repro.netlist.core import Netlist
+        from repro.logic.truthtable import TruthTable
+
+        n = Netlist("bad")
+        a = n.add_input("a")
+        b = n.add_input("b")
+        c = n.add_input("c")
+        n.add_instance(
+            make_lut3(), {"A": a, "B": b, "C": c}, config=TruthTable(3, 0x96)
+        )
+        with pytest.raises(PackingError):
+            min_plbs(gran_arch, n)
+
+
+@pytest.mark.parametrize("arch_name", ["granular", "lut"])
+class TestQuadrisection:
+    def test_all_instances_assigned(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        cols, rows = size_array(arch, mapped)
+        result = pack(mapped, placement, arch, cols, rows)
+        assert set(result.assignments) == set(mapped.instances)
+
+    def test_no_plb_over_capacity(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        cols, rows = size_array(arch, mapped)
+        result = pack(mapped, placement, arch, cols, rows)
+        usage = defaultdict(Counter)
+        for assignment in result.assignments.values():
+            usage[assignment.plb][assignment.slot] += 1
+        for plb, slots in usage.items():
+            for slot, count in slots.items():
+                assert count <= arch.slots[slot], (plb, slot, count)
+
+    def test_slots_compatible(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        cols, rows = size_array(arch, mapped)
+        result = pack(mapped, placement, arch, cols, rows)
+        for name, assignment in result.assignments.items():
+            cell_name = mapped.instances[name].cell.name
+            assert assignment.slot in arch.hosting_slots(cell_name)
+
+    def test_die_area_and_utilization(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        cols, rows = size_array(arch, mapped)
+        result = pack(mapped, placement, arch, cols, rows)
+        assert result.die_area == pytest.approx(cols * rows * arch.area)
+        util = result.utilization()
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+        assert result.plbs_used <= result.n_plbs
+
+    def test_array_too_small_rejected(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        with pytest.raises(PackingError):
+            pack(mapped, placement, arch, 1, 1)
+
+    def test_criticality_biases_displacement(self, mapped_designs, arch_name):
+        _src, mapped, placement, arch, _lib = mapped_designs[arch_name]
+        cols, rows = size_array(arch, mapped)
+        baseline = pack(mapped, placement, arch, cols, rows)
+        # With every cell maximally critical the packer still succeeds.
+        crit = {name: 1.0 for name in mapped.instances}
+        critical = pack(mapped, placement, arch, cols, rows, crit)
+        assert set(critical.assignments) == set(baseline.assignments)
+
+
+class TestPackingLoop:
+    def test_loop_preserves_function(self, mapped_designs):
+        src, mapped, placement, arch, lib = mapped_designs["granular"]
+        timing = characterize_library(lib)
+        work = mapped.copy()
+        packed = run_packing_loop(
+            work, placement, arch, lib, timing, period=0.5
+        )
+        assert outputs_equal(src, packed.netlist, n_cycles=3)
+        assert packed.die_area > 0
+        assert packed.timing.critical_path_delay > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the power-estimation extension."""
+
+import pytest
+
+from repro.logic.truthtable import TruthTable
+from repro.netlist.build import NetlistBuilder
+from repro.power.activity import estimate_activity, table_output_probability
+from repro.power.power import estimate_power
+from repro.timing.wires import WireModel
+
+from conftest import make_ripple_design
+
+
+class TestProbabilityPropagation:
+    def test_and_gate(self):
+        a, b = TruthTable.inputs(2)
+        assert table_output_probability(a & b, [0.5, 0.5]) == pytest.approx(0.25)
+        assert table_output_probability(a & b, [1.0, 0.25]) == pytest.approx(0.25)
+
+    def test_xor_gate(self):
+        a, b = TruthTable.inputs(2)
+        assert table_output_probability(a ^ b, [0.5, 0.5]) == pytest.approx(0.5)
+        assert table_output_probability(a ^ b, [0.0, 0.3]) == pytest.approx(0.3)
+
+    def test_constants(self):
+        assert table_output_probability(TruthTable.constant(2, True), [0.5, 0.5]) == 1.0
+        assert table_output_probability(TruthTable.constant(2, False), [0.5, 0.5]) == 0.0
+
+    def test_inverter_complements(self):
+        a = TruthTable.input_var(1, 0)
+        assert table_output_probability(~a, [0.8]) == pytest.approx(0.2)
+
+
+class TestActivity:
+    def test_probabilities_in_range(self, ripple_design):
+        report = estimate_activity(ripple_design)
+        assert all(0.0 <= p <= 1.0 for p in report.probability.values())
+        assert all(0.0 <= t <= 0.5 for t in report.toggle_rate.values())
+
+    def test_and_chain_attenuates(self):
+        b = NetlistBuilder("chain")
+        signals = [b.input(f"i{k}") for k in range(4)]
+        acc = signals[0]
+        nets = []
+        for s in signals[1:]:
+            acc = b.AND(acc, s)
+            nets.append(acc)
+        b.output(acc, "y")
+        report = estimate_activity(b.netlist)
+        probs = [report.probability[n] for n in nets]
+        assert probs == sorted(probs, reverse=True)
+        assert probs[-1] == pytest.approx(0.5 ** 4)
+
+    def test_input_override(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        b.output(b.NOT(x), "y")
+        report = estimate_activity(b.netlist, input_overrides={"x": 1.0})
+        assert report.probability["y"] == pytest.approx(0.0)
+        assert report.activity("y") == pytest.approx(0.0)
+
+    def test_sequential_fixed_point_converges(self, ripple_design):
+        report = estimate_activity(ripple_design)
+        for dff in ripple_design.sequential_instances():
+            assert 0.0 <= report.probability[dff.output_net] <= 1.0
+
+
+class TestPower:
+    def test_breakdown_positive(self, ripple_design, gran_timing):
+        report = estimate_power(ripple_design, gran_timing)
+        assert report.dynamic > 0
+        assert report.clock > 0
+        assert report.leakage > 0
+        assert report.total == pytest.approx(
+            report.dynamic + report.clock + report.leakage
+        )
+
+    def test_scales_with_frequency(self, ripple_design, gran_timing):
+        slow = estimate_power(ripple_design, gran_timing, frequency_mhz=100)
+        fast = estimate_power(ripple_design, gran_timing, frequency_mhz=400)
+        assert fast.dynamic == pytest.approx(4 * slow.dynamic)
+        assert fast.leakage == pytest.approx(slow.leakage)
+
+    def test_wire_load_increases_dynamic(self, ripple_design, gran_timing):
+        bare = estimate_power(ripple_design, gran_timing)
+        wires = WireModel(lengths={net: 200.0 for net in ripple_design.nets})
+        loaded = estimate_power(ripple_design, gran_timing, wires=wires)
+        assert loaded.dynamic > bare.dynamic
+
+    def test_leakage_area_override(self, ripple_design, gran_timing):
+        small = estimate_power(ripple_design, gran_timing)
+        big = estimate_power(
+            ripple_design, gran_timing, leakage_area_um2=1e6
+        )
+        assert big.leakage > small.leakage

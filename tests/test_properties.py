@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.logic.npn import npn_canonical, npn_transforms
+from repro.logic.truthtable import TruthTable
+from repro.synth.aig import AIG, lit_inverted, lit_node
+from repro.synth.cuts import cut_function, enumerate_cuts
+from repro.synth.realize import compaction_table, lookup
+
+masks2 = st.integers(min_value=0, max_value=15)
+masks3 = st.integers(min_value=0, max_value=255)
+tables3 = masks3.map(lambda m: TruthTable(3, m))
+tables2 = masks2.map(lambda m: TruthTable(2, m))
+
+
+class TestTruthTableAlgebra:
+    @given(masks3, masks3)
+    def test_de_morgan(self, m1, m2):
+        a, b = TruthTable(3, m1), TruthTable(3, m2)
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)
+
+    @given(masks3, masks3, masks3)
+    def test_distributivity(self, m1, m2, m3):
+        a, b, c = (TruthTable(3, m) for m in (m1, m2, m3))
+        assert (a & (b | c)) == ((a & b) | (a & c))
+
+    @given(masks3)
+    def test_double_negation(self, mask):
+        t = TruthTable(3, mask)
+        assert ~~t == t
+
+    @given(masks3, st.integers(min_value=0, max_value=2))
+    def test_shannon_expansion(self, mask, index):
+        f = TruthTable(3, mask)
+        x = TruthTable.input_var(3, index)
+        low = f.cofactor(index, 0).extend(3) if index == 2 else None
+        # Rebuild via mux about any variable using generic composition.
+        g = f.cofactor(index, 0)
+        h = f.cofactor(index, 1)
+        # Reinsert the variable at `index`.
+        subs = []
+        remaining = [i for i in range(3) if i != index]
+        for i in remaining:
+            subs.append(TruthTable.input_var(3, i))
+        g3 = g.compose(subs) if g.n_inputs else g.extend(3)
+        h3 = h.compose(subs) if h.n_inputs else h.extend(3)
+        assert TruthTable.mux(x, g3, h3) == f
+
+    @given(masks3, st.permutations(list(range(3))))
+    def test_permute_involution(self, mask, order):
+        f = TruthTable(3, mask)
+        inverse = [0, 0, 0]
+        for new_i, old_i in enumerate(order):
+            inverse[old_i] = new_i
+        assert f.permute(tuple(order)).permute(tuple(inverse)) == f
+
+    @given(masks3, st.integers(min_value=0, max_value=2))
+    def test_flip_involution(self, mask, index):
+        f = TruthTable(3, mask)
+        assert f.flip_input(index).flip_input(index) == f
+
+    @given(masks2)
+    def test_extend_preserves_behaviour(self, mask):
+        f = TruthTable(2, mask)
+        g = f.extend(3)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert g(a, b, c) == f(a, b)
+
+
+class TestNPNProperties:
+    @given(masks3)
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_invariant_under_transform(self, mask):
+        f = TruthTable(3, mask)
+        canon = npn_canonical(f)
+        for i, transform in enumerate(npn_transforms(3)):
+            if i % 17:  # sample the transform space
+                continue
+            assert npn_canonical(transform.apply(f)) == canon
+
+    @given(masks3)
+    @settings(max_examples=50, deadline=None)
+    def test_support_size_is_npn_invariant(self, mask):
+        f = TruthTable(3, mask)
+        assert len(npn_canonical(f).support()) == len(f.support())
+
+
+def random_aig(masks, n_inputs=4):
+    """Deterministically build an AIG from a list of table masks."""
+    g = AIG("prop")
+    literals = [g.add_input(f"i{k}") for k in range(n_inputs)]
+    for mask in masks:
+        table = TruthTable(2, mask % 16)
+        a = literals[mask % len(literals)]
+        b = literals[(mask // 16) % len(literals)]
+        literals.append(g.from_table(table, [a, b]))
+    g.add_output("y", literals[-1])
+    return g
+
+
+class TestAIGProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_from_table_matches_simulation(self, masks):
+        g = random_aig(masks)
+        tables = g.output_table()
+        assert "y" in tables
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_preserves_function(self, masks):
+        from repro.synth.optimize import optimize
+
+        g = random_aig(masks)
+        for effort in (1, 2):
+            assert optimize(g, effort=effort).output_table() == g.output_table()
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_cut_functions_consistent(self, masks):
+        g = random_aig(masks)
+        cuts = enumerate_cuts(g, k=3)
+        tables = g.output_table()
+        levels = g.levels()
+        name, literal = g.outputs[0]
+        node = lit_node(literal)
+        if not g.is_and(node):
+            return
+        full = tables[name]
+        if lit_inverted(literal):
+            full = ~full
+        # Any cut of the output node, evaluated through its leaves'
+        # functions, must reproduce the node function.
+        node_fn_inputs = [TruthTable.input_var(g.n_inputs, i) for i in range(g.n_inputs)]
+        for cut in cuts[node]:
+            if node in cut or 0 in cut:
+                continue
+            local = cut_function(g, node, cut)
+            leaf_tables = []
+            for leaf in cut:
+                if g.is_input(leaf):
+                    leaf_tables.append(TruthTable.input_var(g.n_inputs, leaf - 1))
+                else:
+                    sub = cut_function(g, leaf, tuple(range(1, g.n_inputs + 1)))
+                    leaf_tables.append(sub)
+            composed = local.compose(leaf_tables)
+            assert composed == full
+
+
+class TestRealizationProperties:
+    @given(tables3)
+    @settings(max_examples=60, deadline=None)
+    def test_granular_compaction_realizes_everything(self, table):
+        found = lookup(compaction_table("granular"), table)
+        if len(table.support()) == 0:
+            assert found is None or found.function == table
+            return
+        assert found is not None
+        # Symbolic evaluation over 3 leaves must equal the target.
+        leaves = [TruthTable.input_var(3, i) for i in range(3)]
+        values = []
+        for step in found.steps:
+            ins = [
+                leaves[idx] if kind == "leaf" else values[idx]
+                for kind, idx in step.refs
+            ]
+            values.append(step.config.compose(ins))
+        assert values[-1] == table
+
+
+class TestBuilderProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mapping_equivalence_random_netlists(self, masks, seed):
+        """Random capture netlists map equivalently on both architectures."""
+        import numpy as np
+
+        from repro.cells.library import granular_plb_library, lut_plb_library
+        from repro.netlist.build import NetlistBuilder
+        from repro.netlist.simulate import outputs_equal
+        from repro.synth.from_netlist import extract_core
+        from repro.synth.techmap import map_core
+
+        b = NetlistBuilder("prop")
+        signals = [b.input(f"i{k}") for k in range(4)]
+        for mask in masks:
+            table = TruthTable(3, mask)
+            picks = [
+                signals[(mask + j + seed) % len(signals)] for j in range(3)
+            ]
+            out = b.gate(table, *picks) if len(set(picks)) == 3 else b.XOR(
+                picks[0], b.AND(picks[1], signals[0])
+            )
+            if out not in ("$const0", "$const1"):
+                signals.append(out)
+        b.output(signals[-1], "y")
+        src = b.netlist
+        core = extract_core(src)
+        for arch, lib in (("lut", lut_plb_library()), ("granular", granular_plb_library())):
+            mapped = map_core(core, arch, lib)
+            assert outputs_equal(src, mapped)

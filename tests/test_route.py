@@ -1,0 +1,125 @@
+"""Unit tests for the routing substrate."""
+
+import random
+
+import pytest
+
+from repro.route.extract import route_and_extract, terminals_from_points
+from repro.route.grid import RoutingGrid
+from repro.route.pathfinder import PathFinderRouter
+
+
+class TestGrid:
+    def test_neighbors_interior(self):
+        grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0)
+        assert len(grid.neighbors((1, 1))) == 4
+        assert len(grid.neighbors((0, 0))) == 2
+
+    def test_bin_of_point_clamps(self):
+        grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0)
+        assert grid.bin_of_point(-5, 5) == (0, 0)
+        assert grid.bin_of_point(999, 999) == (3, 3)
+        assert grid.bin_of_point(15, 25) == (1, 2)
+
+    def test_edge_canonical(self):
+        grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0)
+        assert grid.edge((1, 0), (0, 0)) == grid.edge((0, 0), (1, 0))
+
+
+class TestRouter:
+    def test_two_terminal_route_is_shortest(self):
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=10.0, tracks=8)
+        router = PathFinderRouter(grid)
+        result = router.route({"n": [(0, 0), (5, 3)]})
+        assert result.success
+        net = result.nets["n"]
+        assert len(net.edges) == 8  # manhattan distance
+
+    def test_tree_connects_all_terminals(self):
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=10.0, tracks=8)
+        router = PathFinderRouter(grid)
+        terminals = [(0, 0), (7, 7), (0, 7), (7, 0)]
+        result = router.route({"n": terminals})
+        net = result.nets["n"]
+        for t in terminals:
+            assert t in net.bins
+        # Tree connectivity: every bin reachable from the first terminal.
+        seen = {terminals[0]}
+        frontier = [terminals[0]]
+        adjacency = {}
+        for a, b in net.edges:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency.get(current, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert set(net.bins) <= seen
+
+    def test_congestion_negotiation(self):
+        # Ten left-to-right nets with distinct endpoints across a 2-track
+        # grid: feasible, but naive shortest paths overlap and must be
+        # negotiated apart.
+        grid = RoutingGrid(cols=6, rows=6, bin_pitch=10.0, tracks=2)
+        nets = {
+            f"n{i}": [(0, i % 6), (5, (i + 2) % 6)] for i in range(10)
+        }
+        router = PathFinderRouter(grid)
+        result = router.route(nets)
+        assert result.overused_edges == 0
+
+    def test_impossible_congestion_reported(self):
+        grid = RoutingGrid(cols=2, rows=1, bin_pitch=10.0, tracks=1)
+        nets = {f"n{i}": [(0, 0), (1, 0)] for i in range(5)}
+        result = PathFinderRouter(grid).route(nets)
+        assert result.overused_edges > 0
+        assert not result.success
+
+    def test_wirelength_accounting(self):
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=12.0, tracks=8)
+        result = PathFinderRouter(grid).route({"n": [(0, 0), (3, 0)]})
+        assert result.nets["n"].wirelength(grid) == pytest.approx(36.0)
+        assert result.total_wirelength() == pytest.approx(36.0)
+
+    def test_via_count_counts_bends(self):
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=10.0, tracks=8)
+        result = PathFinderRouter(grid).route({"n": [(0, 0), (4, 4)]})
+        assert result.nets["n"].via_count() >= 1
+
+
+class TestExtraction:
+    def test_terminals_skip_single_bin_nets(self):
+        grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0)
+        points = {
+            "local": [(1.0, 1.0), (2.0, 2.0)],     # same bin
+            "global": [(1.0, 1.0), (35.0, 35.0)],  # far apart
+        }
+        terminals = terminals_from_points(grid, points)
+        assert "local" not in terminals
+        assert "global" in terminals
+
+    def test_extract_gives_wire_model(self):
+        grid = RoutingGrid(cols=6, rows=6, bin_pitch=10.0, tracks=8)
+        rng = random.Random(1)
+        points = {
+            f"n{i}": [
+                (rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(3)
+            ]
+            for i in range(20)
+        }
+        result, model = route_and_extract(grid, points)
+        for name in points:
+            assert model.length(name) >= 0.0
+        routed = [n for n in points if n in result.nets]
+        assert routed
+        for name in routed:
+            assert model.length(name) == result.nets[name].wirelength(grid)
+
+    def test_intra_bin_nets_get_nominal_length(self):
+        grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0)
+        _result, model = route_and_extract(
+            grid, {"local": [(1.0, 1.0), (2.0, 2.0)]}
+        )
+        assert model.length("local") == pytest.approx(5.0)

@@ -1,0 +1,76 @@
+"""Property-based router and packing invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.route.grid import RoutingGrid
+from repro.route.pathfinder import PathFinderRouter
+
+bins8 = st.tuples(
+    st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+)
+
+
+class TestRouterProperties:
+    @given(st.lists(st.lists(bins8, min_size=2, max_size=5), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_every_net_tree_connects_its_terminals(self, nets):
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=10.0, tracks=16)
+        terminals = {f"n{i}": t for i, t in enumerate(nets)}
+        result = PathFinderRouter(grid).route(terminals)
+        for name, t in terminals.items():
+            net = result.nets[name]
+            for b in set(t):
+                assert b in net.bins
+            # Connectivity: all bins in one component.
+            if not net.bins:
+                continue
+            adjacency = {}
+            for a, c in net.edges:
+                adjacency.setdefault(a, []).append(c)
+                adjacency.setdefault(c, []).append(a)
+            start = next(iter(net.bins))
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for nxt in adjacency.get(current, []):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            assert net.bins <= seen
+
+    @given(st.lists(st.lists(bins8, min_size=2, max_size=3), min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_wirelength_lower_bound(self, nets):
+        """Routed length is never below the terminals' spanning bound."""
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=1.0, tracks=16)
+        terminals = {f"n{i}": t for i, t in enumerate(nets)}
+        result = PathFinderRouter(grid).route(terminals)
+        for name, t in terminals.items():
+            unique = list(dict.fromkeys(t))
+            if len(unique) < 2:
+                continue
+            # Lower bound: max pairwise manhattan distance.
+            bound = max(
+                abs(a[0] - b[0]) + abs(a[1] - b[1])
+                for a in unique for b in unique
+            )
+            assert len(result.nets[name].edges) >= bound
+
+    @given(st.lists(st.lists(bins8, min_size=2, max_size=4), min_size=2, max_size=10),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=15, deadline=None)
+    def test_usage_accounting_consistent(self, nets, tracks):
+        """Present-usage bookkeeping equals the union of routed trees."""
+        grid = RoutingGrid(cols=8, rows=8, bin_pitch=1.0, tracks=tracks)
+        router = PathFinderRouter(grid)
+        result = router.route({f"n{i}": t for i, t in enumerate(nets)})
+        from collections import Counter
+
+        expected = Counter()
+        for net in result.nets.values():
+            for edge in net.edges:
+                expected[edge] += 1
+        for edge, usage in router.present.items():
+            assert usage == expected.get(edge, 0)

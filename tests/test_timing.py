@@ -1,0 +1,122 @@
+"""Unit tests for wire models and STA."""
+
+import pytest
+
+from repro.cells.celltypes import DFF_CLK_TO_Q_NS, DFF_SETUP_NS
+from repro.cells.characterize import characterize_library
+from repro.cells.library import granular_plb_library
+from repro.logic.truthtable import TruthTable
+from repro.netlist.core import Netlist
+from repro.timing.sta import analyze
+from repro.timing.wires import (
+    WIRE_CAP_PER_UM,
+    WireModel,
+    hpwl,
+    wire_model_from_placement,
+    zero_wire_model,
+)
+
+from conftest import make_ripple_design
+
+
+class TestWires:
+    def test_hpwl(self):
+        assert hpwl([(0, 0), (3, 4)]) == 7
+        assert hpwl([(1, 1)]) == 0
+        assert hpwl([]) == 0.0
+
+    def test_capacitance_linear_in_length(self):
+        model = WireModel(lengths={"n": 100.0})
+        assert model.capacitance("n") == pytest.approx(100.0 * WIRE_CAP_PER_UM)
+        assert model.capacitance("missing") == 0.0
+
+    def test_delay_grows_with_length(self):
+        short = WireModel(lengths={"n": 50.0})
+        long = WireModel(lengths={"n": 800.0})
+        assert long.delay("n", 2.0) > short.delay("n", 2.0)
+
+    def test_via_penalty(self):
+        plain = WireModel(lengths={"n": 100.0})
+        vias = WireModel(lengths={"n": 100.0}, via_counts={"n": 6})
+        assert vias.delay("n", 2.0) > plain.delay("n", 2.0)
+
+    def test_from_placement(self):
+        model = wire_model_from_placement({"n": [(0, 0), (10, 5)]})
+        assert model.length("n") == 15.0
+
+    def test_zero_model(self):
+        model = zero_wire_model()
+        assert model.delay("anything", 5.0) == 0.0
+
+
+class TestSTA:
+    def _inv_chain(self, n):
+        from repro.cells.celltypes import make_inv
+
+        netlist = Netlist("chain")
+        net = netlist.add_input("in")
+        inv = make_inv()
+        table = ~TruthTable.input_var(1, 0)
+        for _ in range(n):
+            net = netlist.add_instance(inv, {"A": net}, config=table).output_net
+        netlist.add_output(net)
+        return netlist
+
+    def test_chain_arrival_monotone(self, gran_lib):
+        timing = characterize_library(granular_plb_library())
+        short = analyze(self._inv_chain(2), timing)
+        long = analyze(self._inv_chain(8), timing)
+        assert long.critical_path_delay > short.critical_path_delay
+
+    def test_slack_definition(self, gran_lib, gran_timing):
+        netlist = self._inv_chain(3)
+        report = analyze(netlist, gran_timing, period=0.5)
+        out = netlist.outputs[0]
+        assert report.endpoint_slack[out] == pytest.approx(
+            0.5 - report.arrival[out]
+        )
+
+    def test_register_endpoints_include_setup(self, gran_timing):
+        design = make_ripple_design(width=2)
+        report = analyze(design, gran_timing, period=0.5)
+        register_keys = [k for k in report.endpoint_slack if k.endswith("/D")]
+        assert register_keys
+        for key in register_keys:
+            dff_name = key.rsplit("/", 1)[0]
+            d_net = design.instances[dff_name].pin_nets["D"]
+            assert report.endpoint_slack[key] <= 0.5 - DFF_SETUP_NS
+
+    def test_dff_launch_time(self, gran_timing):
+        design = make_ripple_design(width=2)
+        report = analyze(design, gran_timing)
+        for dff in design.sequential_instances():
+            assert report.arrival[dff.output_net] == DFF_CLK_TO_Q_NS
+
+    def test_average_slack_top_n(self, gran_timing):
+        design = make_ripple_design(width=4)
+        report = analyze(design, gran_timing, period=0.5)
+        top3 = report.average_slack(top_n=3)
+        top_all = report.average_slack(top_n=10_000)
+        assert top3 <= top_all  # worst endpoints only
+
+    def test_paths_traceable(self, gran_timing):
+        design = make_ripple_design(width=4)
+        report = analyze(design, gran_timing, top_n=5)
+        assert len(report.paths) == 5
+        for path in report.paths:
+            assert path.points
+            arrivals = [p.arrival for p in path.points]
+            assert arrivals == sorted(arrivals)
+            assert path.slack == pytest.approx(path.required - path.arrival)
+
+    def test_wire_model_slows_design(self, gran_timing):
+        design = make_ripple_design(width=4)
+        no_wires = analyze(design, gran_timing)
+        lengths = {net: 300.0 for net in design.nets}
+        wired = analyze(design, gran_timing, WireModel(lengths=lengths))
+        assert wired.critical_path_delay > no_wires.critical_path_delay
+
+    def test_worst_slack(self, gran_timing):
+        design = make_ripple_design(width=4)
+        report = analyze(design, gran_timing)
+        assert report.worst_slack == min(report.endpoint_slack.values())

@@ -1,0 +1,217 @@
+"""Unit tests for repro.logic.truthtable."""
+
+import pytest
+
+from repro.logic.truthtable import TruthTable, all_functions, all_permutations
+
+
+class TestConstruction:
+    def test_constant_false(self):
+        t = TruthTable.constant(3, False)
+        assert t.mask == 0
+        assert t.is_constant()
+
+    def test_constant_true(self):
+        t = TruthTable.constant(3, True)
+        assert t.mask == 0xFF
+        assert t.is_constant()
+
+    def test_input_var_lsb_convention(self):
+        a = TruthTable.input_var(2, 0)
+        assert a.rows() == (0, 1, 0, 1)
+        b = TruthTable.input_var(2, 1)
+        assert b.rows() == (0, 0, 1, 1)
+
+    def test_input_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.input_var(2, 2)
+
+    def test_from_function(self):
+        t = TruthTable.from_function(2, lambda a, b: a and not b)
+        assert t.mask == 0b0010
+
+    def test_from_rows(self):
+        t = TruthTable.from_rows([0, 1, 1, 0])
+        assert t == TruthTable(2, 0b0110)
+
+    def test_from_rows_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_rows([0, 1, 1])
+
+    def test_from_rows_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_rows([0, 2])
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 5)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 0)
+
+    def test_immutability(self):
+        t = TruthTable(2, 6)
+        with pytest.raises(AttributeError):
+            t.mask = 9
+
+
+class TestEvaluation:
+    def test_call_xor(self):
+        t = TruthTable(2, 0b0110)
+        assert t(0, 0) == 0
+        assert t(1, 0) == 1
+        assert t(0, 1) == 1
+        assert t(1, 1) == 0
+
+    def test_call_arity_check(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 6)(1)
+
+    def test_call_value_check(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 2)(3)
+
+    def test_rows_roundtrip(self):
+        t = TruthTable(3, 0b10110100)
+        assert TruthTable.from_rows(t.rows()) == t
+
+
+class TestAlgebra:
+    def test_and_or_xor_invert(self):
+        a, b = TruthTable.inputs(2)
+        assert (a & b).mask == 0b1000
+        assert (a | b).mask == 0b1110
+        assert (a ^ b).mask == 0b0110
+        assert (~a).mask == 0b0101
+
+    def test_de_morgan(self):
+        a, b = TruthTable.inputs(2)
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)
+
+    def test_mux(self):
+        s, d0, d1 = TruthTable.inputs(3)
+        m = TruthTable.mux(s, d0, d1)
+        assert m(0, 1, 0) == 1  # s=0 selects d0
+        assert m(1, 0, 1) == 1  # s=1 selects d1
+        assert m(1, 1, 0) == 0
+
+    def test_incompatible_arity(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 1) & TruthTable(2, 1)
+
+
+class TestShannon:
+    def test_cofactor_identity(self):
+        a, b, c = TruthTable.inputs(3)
+        f = (a & b) | c
+        assert f.cofactor(2, 1) == TruthTable.constant(2, True)
+        x, y = TruthTable.inputs(2)
+        assert f.cofactor(2, 0) == (x & y)
+
+    def test_cofactor_rebuild(self):
+        for mask in (0x6A, 0x96, 0x17, 0xE8):
+            f = TruthTable(3, mask)
+            g = f.cofactor(2, 0)
+            h = f.cofactor(2, 1)
+            s = TruthTable.input_var(3, 2)
+            rebuilt = TruthTable.mux(s, g.extend(3), h.extend(3))
+            assert rebuilt == f
+
+    def test_cofactor_bad_args(self):
+        t = TruthTable(2, 6)
+        with pytest.raises(ValueError):
+            t.cofactor(5, 0)
+        with pytest.raises(ValueError):
+            t.cofactor(0, 2)
+
+    def test_depends_on(self):
+        a, b, _c = TruthTable.inputs(3)
+        f = a ^ b
+        assert f.depends_on(0)
+        assert f.depends_on(1)
+        assert not f.depends_on(2)
+
+    def test_support(self):
+        a, _b, c = TruthTable.inputs(3)
+        assert (a & c).support() == (0, 2)
+        assert TruthTable.constant(3, True).support() == ()
+
+
+class TestStructure:
+    def test_flip_input(self):
+        a, b = TruthTable.inputs(2)
+        assert (a & b).flip_input(0) == (~a & b)
+
+    def test_permute(self):
+        a, b, c = TruthTable.inputs(3)
+        f = a & ~b & c
+        g = f.permute((2, 1, 0))  # swap inputs 0 and 2
+        assert g == (c & ~b & a).permute((0, 1, 2))
+        assert g(1, 0, 1) == 1
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 6).permute((0, 0))
+
+    def test_extend(self):
+        a = TruthTable.input_var(1, 0)
+        bigger = a.extend(3)
+        assert bigger.n_inputs == 3
+        assert bigger.support() == (0,)
+        assert bigger.cofactor(2, 0).cofactor(1, 0) == a
+
+    def test_extend_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 6).extend(1)
+
+    def test_shrink_to_support(self):
+        a, _b, c = TruthTable.inputs(3)
+        f = a ^ c
+        shrunk, kept = f.shrink_to_support()
+        assert kept == (0, 2)
+        x, y = TruthTable.inputs(2)
+        assert shrunk == (x ^ y)
+
+    def test_compose(self):
+        f = TruthTable(2, 0b0110)  # xor
+        a, b, c = TruthTable.inputs(3)
+        composed = f.compose([a & b, c])
+        assert composed == ((a & b) ^ c)
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 6).compose([TruthTable.input_var(2, 0)])
+
+    def test_compose_mixed_outer(self):
+        f = TruthTable(2, 0b0110)
+        with pytest.raises(ValueError):
+            f.compose([TruthTable.input_var(2, 0), TruthTable.input_var(3, 0)])
+
+
+class TestClassification:
+    def test_is_parity(self):
+        a, b, c = TruthTable.inputs(3)
+        assert (a ^ b ^ c).is_parity()
+        assert (~(a ^ b ^ c)).is_parity()
+        assert not (a & b & c).is_parity()
+
+    def test_parity_needs_two_inputs(self):
+        assert not TruthTable.input_var(1, 0).is_parity()
+
+    def test_minterm_count(self):
+        assert TruthTable(3, 0b10110100).minterm_count() == 4
+
+
+class TestEnumeration:
+    def test_all_functions_count(self):
+        assert sum(1 for _ in all_functions(2)) == 16
+        assert sum(1 for _ in all_functions(3)) == 256
+
+    def test_all_functions_limit(self):
+        with pytest.raises(ValueError):
+            list(all_functions(5))
+
+    def test_all_permutations(self):
+        assert len(all_permutations(3)) == 6

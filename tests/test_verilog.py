@@ -1,0 +1,76 @@
+"""Tests for structural Verilog export/import."""
+
+import io
+
+import pytest
+
+from repro.cells.library import granular_plb_library, lut_plb_library
+from repro.netlist.core import NetlistError
+from repro.netlist.simulate import outputs_equal
+from repro.netlist.validate import check
+from repro.netlist.verilog import read_verilog, write_verilog
+from repro.synth.from_netlist import extract_core
+from repro.synth.techmap import map_core
+
+from conftest import make_ripple_design
+
+
+def roundtrip(netlist, library):
+    buffer = io.StringIO()
+    write_verilog(netlist, buffer)
+    buffer.seek(0)
+    return read_verilog(buffer, library)
+
+
+@pytest.mark.parametrize("arch,libfn", [
+    ("lut", lut_plb_library), ("granular", granular_plb_library),
+])
+class TestRoundTrip:
+    def test_mapped_design_roundtrips(self, arch, libfn):
+        library = libfn()
+        src = make_ripple_design(width=4)
+        mapped = map_core(extract_core(src), arch, library)
+        # Drop synthetic constant cells (not part of the library format).
+        restored = roundtrip(mapped, library)
+        check(restored)
+        assert outputs_equal(mapped, restored, n_cycles=3)
+
+    def test_structure_preserved(self, arch, libfn):
+        library = libfn()
+        src = make_ripple_design(width=3)
+        mapped = map_core(extract_core(src), arch, library)
+        restored = roundtrip(mapped, library)
+        assert set(restored.instances) == set(mapped.instances)
+        assert restored.inputs == mapped.inputs
+        assert restored.outputs == mapped.outputs
+        for name, inst in mapped.instances.items():
+            other = restored.instances[name]
+            assert other.cell.name == inst.cell.name
+            assert other.pin_nets == inst.pin_nets
+            assert other.config == inst.config
+
+
+class TestFormat:
+    def test_config_comment_emitted(self, gran_lib):
+        src = make_ripple_design(width=2)
+        mapped = map_core(extract_core(src), "granular", gran_lib)
+        buffer = io.StringIO()
+        write_verilog(mapped, buffer)
+        text = buffer.getvalue()
+        assert "module" in text and "endmodule" in text
+        assert "// CONFIG" in text
+        assert text.count("input ") == len(mapped.inputs)
+
+    def test_unparseable_line_rejected(self, gran_lib):
+        bad = io.StringIO("module m (a);\n  input a;\n  ???\nendmodule\n")
+        with pytest.raises(NetlistError):
+            read_verilog(bad, gran_lib)
+
+    def test_instance_before_module_rejected(self, gran_lib):
+        bad = io.StringIO("  INV i0 (.A(a), .Y(y));\n")
+        with pytest.raises(NetlistError):
+            read_verilog(bad, gran_lib)
+
+    def test_empty_stream_rejected(self, gran_lib):
+        with pytest.raises(NetlistError):
+            read_verilog(io.StringIO(""), gran_lib)

@@ -1,0 +1,82 @@
+"""Tests for via accounting and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.adder import granular_full_adder
+from repro.core.plb import granular_plb, lut_plb
+from repro.core.vias import (
+    cell_config_sites,
+    configured_vias,
+    design_via_stats,
+    granularity_cost_comparison,
+    plb_via_budget,
+)
+
+
+class TestViaAccounting:
+    def test_config_sites_scale_with_feasible_set(self):
+        from repro.cells.celltypes import make_lut3, make_mux2, make_nd3wi
+
+        assert cell_config_sites(make_lut3()) == 8    # 256 functions
+        assert cell_config_sites(make_nd3wi()) == 4   # 16 functions
+        assert cell_config_sites(make_mux2()) == 1    # fixed function
+
+    def test_granular_has_more_sites(self):
+        lut_budget = plb_via_budget(lut_plb())
+        gran_budget = plb_via_budget(granular_plb())
+        # The paper: higher granularity = more potential via sites...
+        assert gran_budget.total > lut_budget.total
+        # ...but the silicon cost stays a small fraction of the PLB.
+        assert gran_budget.via_site_area < 0.5 * granular_plb().area
+
+    def test_sram_equivalent_dwarfs_via_cost(self):
+        for arch in (lut_plb(), granular_plb()):
+            budget = plb_via_budget(arch)
+            assert budget.sram_equivalent_area > 3 * arch.area
+
+    def test_design_stats(self):
+        netlist = granular_full_adder()
+        stats = design_via_stats(netlist, granular_plb(), n_plbs=1)
+        assert stats.configured_vias == configured_vias(netlist)
+        assert 0.0 < stats.utilization <= 1.0
+
+    def test_comparison_keys(self):
+        comparison = granularity_cost_comparison()
+        assert set(comparison) == {"lut", "granular"}
+        for stats in comparison.values():
+            assert stats["sram_area_fraction"] > stats["site_area_fraction"]
+
+
+class TestCLI:
+    def test_analyze(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "196" in out and "XOANDMX" in out
+
+    def test_vias(self, capsys):
+        assert main(["vias"]) == 0
+        out = capsys.readouterr().out
+        assert "SRAM" in out and "granular" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "granular_plb" in out
+
+    def test_flow_tiny(self, capsys):
+        code = main([
+            "flow", "firewire", "--scale", "0.2", "--effort", "0.03",
+            "--arch", "lut",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flow a" in out and "flow b" in out and "PLBs" in out
+
+    def test_parser_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "cpu"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,63 @@
+"""Tests for the SVG layout renderer."""
+
+import io
+
+from repro.cells.library import granular_plb_library
+from repro.core.plb import granular_plb
+from repro.pack.quadrisection import pack
+from repro.pack.resources import size_array
+from repro.place.grid import grid_for_netlist
+from repro.place.sa import AnnealingPlacer
+from repro.route.extract import route_and_extract
+from repro.route.grid import RoutingGrid
+from repro.synth.from_netlist import extract_core
+from repro.synth.techmap import map_core
+from repro.viz import render_packing_svg, write_packing_svg
+
+from conftest import make_ripple_design
+
+
+def _packed():
+    src = make_ripple_design(width=4)
+    mapped = map_core(extract_core(src), "granular", granular_plb_library())
+    arch = granular_plb()
+    placement = AnnealingPlacer(
+        mapped, grid_for_netlist(mapped), seed=0, effort=0.03
+    ).place()
+    cols, rows = size_array(arch, mapped)
+    packing = pack(mapped, placement, arch, cols, rows)
+    grid = RoutingGrid(cols=cols, rows=rows, bin_pitch=arch.tile_side, tracks=28)
+    routing, _wires = route_and_extract(grid, packing.net_pin_points(mapped))
+    return packing, routing
+
+
+def test_svg_structure():
+    packing, routing = _packed()
+    svg = render_packing_svg(packing, routing, title="test<layout>")
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert "test&lt;layout&gt;" in svg  # titles are escaped
+    # One tile rect per PLB plus occupancy marks and wires.
+    assert svg.count("<rect") >= packing.n_plbs
+    assert "<line" in svg
+
+
+def test_svg_without_routing():
+    packing, _routing = _packed()
+    svg = render_packing_svg(packing)
+    assert "<line" not in svg
+    assert svg.count("<rect") >= packing.n_plbs
+
+
+def test_write_to_stream():
+    packing, routing = _packed()
+    buffer = io.StringIO()
+    write_packing_svg(buffer, packing, routing)
+    assert buffer.getvalue().startswith("<svg")
+
+
+def test_occupancy_marks_match_assignments():
+    packing, _ = _packed()
+    svg = render_packing_svg(packing)
+    # Every assignment contributes one titled occupancy mark.
+    assert svg.count("<title>") == len(packing.assignments)
