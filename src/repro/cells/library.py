@@ -63,6 +63,12 @@ class Library:
                 raise LibraryError(f"duplicate cell {cell.name!r}")
             self._cells[cell.name] = cell
 
+    def __repr__(self) -> str:
+        # Deterministic (address-free) so cache keys built from reprs are
+        # stable across processes.
+        cells = ", ".join(repr(c) for c in self._cells.values())
+        return f"Library(name={self.name!r}, cells=[{cells}])"
+
     def __contains__(self, name: str) -> bool:
         return name in self._cells
 

@@ -38,7 +38,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     from .flow.options import FlowOptions
 
     options = FlowOptions(
-        arch=args.arch, seed=args.seed, place_effort=args.effort
+        arch=args.arch, seed=args.seed, place_effort=args.effort,
+        jobs=args.jobs, use_cache=not args.no_cache,
     )
     netlist = build_design(args.design, scale=args.scale)
     print(f"Running {args.design} (scale {args.scale}) on the "
@@ -54,23 +55,33 @@ def _cmd_flow(args: argparse.Namespace) -> int:
           f"avg slack {run.flow_b.average_slack:7.3f} ns, "
           f"{run.flow_b.plbs_used} PLBs "
           f"({run.flow_b.array_side} per side)")
+    print(run.performance_report())
     return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .flow.experiments import (
+        default_options,
         run_compaction_summary,
         run_matrix,
         run_table1,
         run_table2,
     )
 
-    matrix = run_matrix(scale=args.scale)
+    from dataclasses import replace
+
+    options = replace(
+        default_options(), jobs=args.jobs, use_cache=not args.no_cache
+    )
+    matrix = run_matrix(options, scale=args.scale, jobs=args.jobs)
     print(run_table1(matrix).format())
     print()
     print(run_table2(matrix).format())
     print()
     print(run_compaction_summary(matrix).format())
+    if args.timings:
+        print()
+        print(matrix.performance_report())
     return 0
 
 
@@ -119,9 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--seed", type=int, default=0)
     flow.add_argument("--effort", type=float, default=0.2,
                       help="placement effort (1.0 = full anneal)")
+    flow.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for matrix fan-out (1 = serial)")
+    flow.add_argument("--no-cache", action="store_true",
+                      help="bypass the content-addressed stage cache")
 
     tables = sub.add_parser("tables", help="regenerate Tables 1 and 2")
     tables.add_argument("--scale", type=float, default=0.5)
+    tables.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the 8-cell matrix "
+                             "(1 = serial; -1 = all CPUs)")
+    tables.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed stage cache")
+    tables.add_argument("--timings", action="store_true",
+                        help="print per-stage wall times and cache stats")
 
     sub.add_parser("explore", help="rank candidate PLB architectures")
     sub.add_parser("vias", help="via-programmability cost comparison")

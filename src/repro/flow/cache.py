@@ -1,0 +1,177 @@
+"""Content-addressed stage cache for the design flow.
+
+Each flow stage (synthesis, physical synthesis, routing/STA, packing) is
+a deterministic function of (input netlist, architecture, stage options,
+seed), so its result can be keyed by a stable hash of those components
+and persisted across processes and invocations.  Repeated benchmark or
+experiment runs then skip every unchanged prefix of the pipeline.
+
+Entries live under ``~/.cache/repro`` (override with the
+``REPRO_CACHE_DIR`` environment variable; set ``REPRO_NO_CACHE=1`` to
+disable caching globally).  Every entry embeds a SHA-256 digest of its
+pickled payload; a digest mismatch on read (truncated or corrupted file)
+is counted, the entry is discarded, and the stage is recomputed — a bad
+cache can cost time but never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..netlist.core import Netlist
+
+#: Bump to invalidate all existing cache entries on format changes.
+CACHE_FORMAT_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_globally_disabled() -> bool:
+    return os.environ.get(CACHE_DISABLE_ENV, "") not in ("", "0")
+
+
+def canonical_netlist(netlist: Netlist) -> str:
+    """A stable, content-complete text form of a netlist.
+
+    Instances are emitted in sorted order with their cell type, pin
+    connections and configuration mask, so two netlists with the same
+    structure canonicalize identically regardless of construction order.
+    """
+    parts = [
+        f"netlist:{netlist.name}",
+        "in:" + ",".join(netlist.inputs),
+        "out:" + ",".join(netlist.outputs),
+    ]
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        pins = ",".join(f"{p}={n}" for p, n in sorted(inst.pin_nets.items()))
+        cfg = "seq" if inst.config is None else f"{inst.config.n_inputs}:{inst.config.mask}"
+        parts.append(f"{name}|{inst.cell.name}|{pins}|{cfg}")
+    return "\n".join(parts)
+
+
+def stable_hash(*components: Any) -> str:
+    """SHA-256 over the repr of the components (order-sensitive)."""
+    h = hashlib.sha256()
+    for component in components:
+        if isinstance(component, Netlist):
+            component = canonical_netlist(component)
+        h.update(repr(component).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/volume counters for one cache (or an aggregate)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.corrupt += other.corrupt
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def format(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, {self.corrupt} corrupt, "
+            f"{self.bytes_read} B read, {self.bytes_written} B written"
+        )
+
+
+class StageCache:
+    """Content-addressed store of pickled stage results.
+
+    File format: ``<hex sha256 of payload>\\n<payload>``.  Writes go
+    through a temp file + atomic rename so concurrent workers never see
+    partial entries (a torn read would be caught by the digest anyway).
+    """
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled and not cache_globally_disabled()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key(self, stage: str, *components: Any) -> str:
+        return stable_hash(CACHE_FORMAT_VERSION, stage, *components)
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.pkl"
+
+    def get(self, stage: str, key: str) -> Optional[Any]:
+        """The cached result, or ``None`` on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self._path(stage, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        digest, sep, payload = raw.partition(b"\n")
+        ok = bool(sep) and hashlib.sha256(payload).hexdigest().encode() == digest
+        if ok:
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                ok = False
+        if not ok:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw)
+        return result
+
+    def put(self, stage: str, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        path = self._path(stage, key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return  # a read-only or full cache dir silently degrades to no-op
+        self.stats.bytes_written += len(blob)
+
+
+class NullCache(StageCache):
+    """A disabled cache (used when ``FlowOptions.use_cache`` is off)."""
+
+    def __init__(self):
+        super().__init__(root=Path(os.devnull), enabled=False)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -21,8 +22,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..core.s3 import category_counts, modified_s3_implementable, s3_feasible_set
 from ..designs import build_alu, build_firewire, build_fpu, build_netswitch
 from ..netlist.core import Netlist
+from .cache import CacheStats
 from .flow import DesignRun, run_design
 from .options import FlowOptions
+from .parallel import run_cells
 
 ARCHES = ("granular", "lut")
 DESIGNS = ("alu", "firewire", "fpu", "netswitch")
@@ -30,10 +33,22 @@ DATAPATH_DESIGNS = ("alu", "fpu", "netswitch")
 
 
 def design_scale() -> float:
-    """Global design-size scale from ``REPRO_SCALE`` (default 1.0)."""
+    """Global design-size scale from ``REPRO_SCALE`` (default 1.0).
+
+    An unparsable value falls back to 1.0 but warns loudly — a silently
+    ignored ``REPRO_SCALE`` would make a misconfigured full-scale run
+    look like a default-scale one.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1.0")
     try:
-        return float(os.environ.get("REPRO_SCALE", "1.0"))
+        return float(raw)
     except ValueError:
+        warnings.warn(
+            f"REPRO_SCALE={raw!r} is not a valid float; "
+            "falling back to scale 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1.0
 
 
@@ -75,26 +90,44 @@ class Matrix:
     def run(self, design: str, arch: str) -> DesignRun:
         return self.runs[(design, arch)]
 
+    def aggregate_cache_stats(self) -> CacheStats:
+        """Cache hits/misses/bytes summed over every cell's flow run."""
+        total = CacheStats()
+        for run in self.runs.values():
+            if run.cache_stats is not None:
+                total.merge(run.cache_stats)
+        return total
 
-_matrix_cache: Dict[Tuple[float, int], Matrix] = {}
+    def performance_report(self) -> str:
+        """Per-cell stage timings plus aggregate cache statistics."""
+        lines = [run.performance_report() for run in self.runs.values()]
+        lines.append(f"matrix cache totals: {self.aggregate_cache_stats().format()}")
+        return "\n".join(lines)
+
+
+_matrix_cache: Dict[Tuple[float, int, float, Tuple[str, ...]], Matrix] = {}
 
 
 def run_matrix(
     options: Optional[FlowOptions] = None,
     designs: Tuple[str, ...] = DESIGNS,
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> Matrix:
-    """Run (and memoize) the evaluation matrix."""
+    """Run (and memoize) the evaluation matrix.
+
+    ``jobs`` fans the independent (design, arch) cells out over worker
+    processes (default: ``options.jobs``; 1 = serial).  The worker count
+    never changes results — the in-process memoization key deliberately
+    excludes it.
+    """
     options = options or default_options()
     s = design_scale() if scale is None else scale
     key = (s, options.seed, options.place_effort, designs)
     if key in _matrix_cache:
         return _matrix_cache[key]
-    runs: Dict[Tuple[str, str], DesignRun] = {}
-    for design in designs:
-        for arch in ARCHES:
-            netlist = build_design(design, s)
-            runs[(design, arch)] = run_design(netlist, arch, options)
+    cells = [(design, arch) for design in designs for arch in ARCHES]
+    runs = run_cells(cells, s, options, jobs=options.jobs if jobs is None else jobs)
     matrix = Matrix(runs=runs)
     _matrix_cache[key] = matrix
     return matrix

@@ -15,12 +15,20 @@
     standard cell ASIC flow using a library which comprises of cells that
     make up each PLB.  Flow b ... produces a regular PLB array with
     ASIC-style custom routing."
+
+The flow is decomposed into content-addressed stages (synthesis,
+physical synthesis, flow-a routing/STA, packing, flow-b routing/STA);
+:func:`run_design` keys each stage by a stable hash of its inputs and
+consults a :class:`~repro.flow.cache.StageCache` so repeated invocations
+skip every unchanged prefix of the pipeline.  Per-stage wall times and
+cache events are recorded on the returned :class:`DesignRun`.
 """
 
 from __future__ import annotations
 
 import math
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -39,10 +47,14 @@ from ..synth.from_netlist import CombCore, extract_core
 from ..synth.optimize import optimize
 from ..synth.techmap import map_core
 from ..timing.sta import TimingReport, analyze
+from .cache import CacheStats, NullCache, StageCache, canonical_netlist, stable_hash
 from .options import FlowOptions
 
 #: Deep mapped netlists recurse through reconstruction helpers.
 _RECURSION_LIMIT = 100_000
+
+#: Stage names, in pipeline order (used by reports and benchmarks).
+STAGES = ("synthesis", "physical", "route_a", "packing", "route_b")
 
 
 #: Custom architectures registered for flow runs, by name.
@@ -118,6 +130,28 @@ class DesignRun:
     physical: PhysicalResult
     flow_a: FlowResult
     flow_b: FlowResult
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    stage_cached: Dict[str, bool] = field(default_factory=dict)
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def performance_report(self) -> str:
+        """Per-stage wall time and cache events, one line per stage."""
+        lines = [f"stage timings for {self.design}/{self.arch_name}:"]
+        for stage in STAGES:
+            if stage not in self.stage_seconds:
+                continue
+            mark = "cached" if self.stage_cached.get(stage) else "computed"
+            lines.append(
+                f"  {stage:10s} {self.stage_seconds[stage]:9.3f} s  [{mark}]"
+            )
+        lines.append(f"  {'total':10s} {self.total_seconds:9.3f} s")
+        if self.cache_stats is not None:
+            lines.append(f"  cache: {self.cache_stats.format()}")
+        return "\n".join(lines)
 
 
 def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
@@ -154,6 +188,19 @@ def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
     )
 
 
+def _run_physical(synthesis: SynthesisResult, options: FlowOptions) -> PhysicalResult:
+    """Physical synthesis on the mapped netlist (mutates a private copy)."""
+    return run_physical_synthesis(
+        synthesis.netlist,
+        synthesis.library,
+        synthesis.timing_library,
+        period=options.period,
+        seed=options.seed,
+        iterations=options.place_iterations,
+        effort=options.place_effort,
+    )
+
+
 def _route_flow_a(
     physical: PhysicalResult, options: FlowOptions
 ) -> tuple:
@@ -170,43 +217,30 @@ def _route_flow_a(
     return route_and_extract(routing_grid, points)
 
 
-def run_flow_a(
-    synthesis: SynthesisResult, options: FlowOptions
-) -> tuple:
-    """ASIC flow on the component-cell library; returns (result, physical)."""
-    physical = run_physical_synthesis(
-        synthesis.netlist,
-        synthesis.library,
-        synthesis.timing_library,
-        period=options.period,
-        seed=options.seed,
-        iterations=options.place_iterations,
-        effort=options.place_effort,
-    )
+def _flow_a_result(
+    synthesis: SynthesisResult, physical: PhysicalResult, options: FlowOptions
+) -> FlowResult:
+    """Flow a back end: routing + extraction + STA over the cell grid."""
     routing, wires = _route_flow_a(physical, options)
     timing = analyze(
         physical.netlist, synthesis.timing_library, wires, period=options.period
     )
     # Flow a die area: the standard-cell core at the utilization target.
-    die_area = physical.placement.grid.area_um2
-    result = FlowResult(
+    return FlowResult(
         flow="a",
         arch_name=options.arch,
         netlist_stats=gather(physical.netlist),
-        die_area=die_area,
+        die_area=physical.placement.grid.area_um2,
         timing=timing,
         routing=routing,
     )
-    return result, physical
 
 
-def run_flow_b(
-    synthesis: SynthesisResult,
-    physical: PhysicalResult,
-    options: FlowOptions,
-) -> FlowResult:
-    """Packing into the PLB array plus ASIC-style routing over it."""
-    packed: PackedDesign = run_packing_loop(
+def _pack_stage(
+    synthesis: SynthesisResult, physical: PhysicalResult, options: FlowOptions
+) -> PackedDesign:
+    """Packing into the PLB array, iterated with physical synthesis."""
+    return run_packing_loop(
         physical.netlist,
         physical.placement,
         synthesis.arch,
@@ -216,6 +250,12 @@ def run_flow_b(
         iterations=options.pack_iterations,
         headroom=options.pack_headroom,
     )
+
+
+def _flow_b_result(
+    synthesis: SynthesisResult, packed: PackedDesign, options: FlowOptions
+) -> FlowResult:
+    """Flow b back end: ASIC-style routing over the PLB array + STA."""
     routing_grid = RoutingGrid(
         cols=packed.packing.cols,
         rows=packed.packing.rows,
@@ -240,22 +280,101 @@ def run_flow_b(
     )
 
 
+def run_flow_a(
+    synthesis: SynthesisResult, options: FlowOptions
+) -> tuple:
+    """ASIC flow on the component-cell library; returns (result, physical)."""
+    physical = _run_physical(synthesis, options)
+    return _flow_a_result(synthesis, physical, options), physical
+
+
+def run_flow_b(
+    synthesis: SynthesisResult,
+    physical: PhysicalResult,
+    options: FlowOptions,
+) -> FlowResult:
+    """Packing into the PLB array plus ASIC-style routing over it."""
+    packed = _pack_stage(synthesis, physical, options)
+    return _flow_b_result(synthesis, packed, options)
+
+
+def _cache_for(options: FlowOptions) -> StageCache:
+    return StageCache() if options.use_cache else NullCache()
+
+
 def run_design(
-    netlist: Netlist, arch, options: Optional[FlowOptions] = None
+    netlist: Netlist,
+    arch,
+    options: Optional[FlowOptions] = None,
+    cache: Optional[StageCache] = None,
 ) -> DesignRun:
     """Run both flows for one design on one architecture.
 
     ``arch`` is ``"lut"``, ``"granular"``, a registered custom name, or a
     :class:`~repro.core.plb.PLBArchitecture` instance (registered
     automatically).
+
+    Every stage consults ``cache`` (a fresh :class:`StageCache` honoring
+    ``options.use_cache`` when not given); stage keys chain so any change
+    to an upstream input invalidates everything downstream of it while
+    unchanged prefixes are reused.  A cache hit yields a result equal in
+    value to a cold computation — determinism of every stage per seed is
+    what makes the cache sound.
     """
     if isinstance(arch, PLBArchitecture):
         register_architecture(arch)
         arch = arch.name
     options = (options or FlowOptions()).with_arch(arch)
-    synthesis = synthesize(netlist, options)
-    flow_a, physical = run_flow_a(synthesis, options)
-    flow_b = run_flow_b(synthesis, physical, options)
+    cache = cache if cache is not None else _cache_for(options)
+    seconds: Dict[str, float] = {}
+    cached: Dict[str, bool] = {}
+
+    def staged(stage, key, compute):
+        start = time.perf_counter()
+        result = cache.get(stage, key)
+        cached[stage] = result is not None
+        if result is None:
+            result = compute()
+            cache.put(stage, key, result)
+        seconds[stage] = time.perf_counter() - start
+        return result
+
+    arch_repr = repr(architecture_of(arch))
+    k_synth = cache.key(
+        "synthesis", canonical_netlist(netlist), arch_repr,
+        options.opt_effort, options.run_compaction,
+    )
+    synthesis = staged("synthesis", k_synth, lambda: synthesize(netlist, options))
+
+    k_phys = cache.key(
+        "physical", k_synth, options.seed, options.place_iterations,
+        options.place_effort, options.period,
+    )
+    physical = staged("physical", k_phys, lambda: _run_physical(synthesis, options))
+
+    k_route_a = cache.key(
+        "route_a", k_phys, options.routing_tracks,
+        options.routing_bins_per_side, options.period,
+    )
+    flow_a = staged(
+        "route_a", k_route_a, lambda: _flow_a_result(synthesis, physical, options)
+    )
+
+    k_pack = cache.key(
+        "packing", k_phys, options.pack_iterations, options.pack_headroom,
+        options.period,
+    )
+    packed = staged(
+        "packing", k_pack, lambda: _pack_stage(synthesis, physical, options)
+    )
+
+    k_route_b = cache.key(
+        "route_b", k_pack, options.routing_tracks, options.period
+    )
+    flow_b = staged(
+        "route_b", k_route_b, lambda: _flow_b_result(synthesis, packed, options)
+    )
+
     return DesignRun(
         design=netlist.name,
         arch_name=arch,
@@ -263,4 +382,7 @@ def run_design(
         physical=physical,
         flow_a=flow_a,
         flow_b=flow_b,
+        stage_seconds=seconds,
+        stage_cached=cached,
+        cache_stats=cache.stats,
     )

@@ -16,6 +16,12 @@ class FlowOptions:
     lower it for large designs to keep pure-Python runtimes sane — the
     comparison is differential, so both architectures always run with
     identical effort.
+
+    ``jobs`` is the worker count for the parallel experiment-matrix
+    runner (1 = serial, the exact legacy path); results are identical
+    for any worker count because every stage is deterministic per seed.
+    ``use_cache`` enables the content-addressed stage cache (see
+    :mod:`repro.flow.cache`); neither knob affects computed results.
     """
 
     arch: str = "granular"
@@ -30,6 +36,8 @@ class FlowOptions:
     utilization: float = 0.70
     routing_tracks: int = 28
     routing_bins_per_side: int = 12
+    jobs: int = 1
+    use_cache: bool = True
 
     def with_arch(self, arch: str) -> "FlowOptions":
         from dataclasses import replace

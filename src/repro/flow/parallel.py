@@ -1,0 +1,72 @@
+"""Parallel evaluation-matrix runner.
+
+The paper's whole evaluation is a 4-designs x 2-PLB-architectures matrix
+(each cell runs flows a and b).  Cells are mutually independent — every
+stochastic stage takes an explicit per-run seed, and no state is shared
+between cells — so they fan out over a ``ProcessPoolExecutor`` without
+affecting results: ``jobs=1`` runs the exact serial path, and any
+``jobs>1`` produces bit-identical tables because each cell's computation
+never depends on which worker (or how many) executed it.
+
+Workers also share the content-addressed stage cache
+(:mod:`repro.flow.cache`): entries are written atomically, so concurrent
+workers can populate and reuse it safely.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple
+
+from .flow import DesignRun
+from .options import FlowOptions
+
+
+def _run_cell(
+    cell: Tuple[str, str], scale: float, options: FlowOptions
+) -> Tuple[Tuple[str, str], DesignRun]:
+    """Worker body: build one design and run both flows on one arch.
+
+    Imports are deferred so the module stays importable without pulling
+    the whole flow in (and so forked workers resolve them lazily).
+    """
+    from .experiments import build_design
+    from .flow import run_design
+
+    design, arch = cell
+    netlist = build_design(design, scale)
+    return cell, run_design(netlist, arch, options)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` -> 1, negatives -> CPUs."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def run_cells(
+    cells: Sequence[Tuple[str, str]],
+    scale: float,
+    options: FlowOptions,
+    jobs: Optional[int] = None,
+) -> Dict[Tuple[str, str], DesignRun]:
+    """Run every (design, arch) cell, serially or across processes.
+
+    The result dict is keyed by cell in the order given, regardless of
+    worker completion order, so downstream table formatting is identical
+    for any job count.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return {cell: _run_cell(cell, scale, options)[1] for cell in cells}
+    runs: Dict[Tuple[str, str], DesignRun] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        for cell, run in pool.map(
+            _run_cell, cells, [scale] * len(cells), [options] * len(cells)
+        ):
+            runs[cell] = run
+    return {cell: runs[cell] for cell in cells}

@@ -61,6 +61,11 @@ class TruthTable:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("TruthTable is immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard break default pickling; rebuild
+        # through __init__ so cached/parallel flow results stay portable.
+        return (TruthTable, (self.n_inputs, self.mask))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

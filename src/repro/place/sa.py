@@ -6,9 +6,20 @@ range window; the schedule follows the classic VPR recipe (temperature
 from initial cost spread, cooling rate adapted to the acceptance ratio,
 exit when temperature is a tiny fraction of cost-per-net).
 
-The placer is deterministic for a given seed and supports *locked*
-instances (used by the packing <-> physical-synthesis iteration of paper
-Section 3.1, where legalized cells keep their PLB positions).
+Net cost is maintained *incrementally*, VPR-style: every net carries a
+cached bounding box with occupancy counts on each boundary.  A move
+updates only the nets touching the moved instance(s) in O(1) each — a
+full per-net recomputation happens only when the last point on a
+boundary moves off it (so the cached box is exact at all times, never an
+approximation), and all boxes are rebuilt at every temperature step to
+bound floating-point drift in the accumulated total.
+
+The placer is deterministic for a given seed — including across
+processes: per-move cost deltas are summed in a fixed net order derived
+from netlist insertion order, never from (hash-randomized) set order —
+and supports *locked* instances (used by the packing <->
+physical-synthesis iteration of paper Section 3.1, where legalized cells
+keep their PLB positions).
 """
 
 from __future__ import annotations
@@ -62,6 +73,77 @@ def _net_bbox_cost(points: List[Tuple[float, float]], weight: float) -> float:
     return weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
 
 
+class _NetBox:
+    """Exact bounding box of a net's point multiset with boundary counts.
+
+    ``n_*`` counts how many points sit on each boundary; removing the
+    last boundary point invalidates the box (``remove`` returns False)
+    and the caller rebuilds it from scratch.  Everywhere else updates
+    are O(1).
+    """
+
+    __slots__ = ("xmin", "xmax", "ymin", "ymax",
+                 "n_xmin", "n_xmax", "n_ymin", "n_ymax")
+
+    def __init__(self, points: List[Tuple[float, float]]):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        self.xmin = min(xs)
+        self.xmax = max(xs)
+        self.ymin = min(ys)
+        self.ymax = max(ys)
+        self.n_xmin = xs.count(self.xmin)
+        self.n_xmax = xs.count(self.xmax)
+        self.n_ymin = ys.count(self.ymin)
+        self.n_ymax = ys.count(self.ymax)
+
+    def half_perimeter(self) -> float:
+        return (self.xmax - self.xmin) + (self.ymax - self.ymin)
+
+    def add(self, x: float, y: float) -> None:
+        if x > self.xmax:
+            self.xmax, self.n_xmax = x, 1
+        elif x == self.xmax:
+            self.n_xmax += 1
+        if x < self.xmin:
+            self.xmin, self.n_xmin = x, 1
+        elif x == self.xmin:
+            self.n_xmin += 1
+        if y > self.ymax:
+            self.ymax, self.n_ymax = y, 1
+        elif y == self.ymax:
+            self.n_ymax += 1
+        if y < self.ymin:
+            self.ymin, self.n_ymin = y, 1
+        elif y == self.ymin:
+            self.n_ymin += 1
+
+    def remove(self, x: float, y: float) -> bool:
+        """Remove one point; False when a boundary emptied (rebuild me)."""
+        ok = True
+        if x == self.xmax:
+            self.n_xmax -= 1
+            ok = ok and self.n_xmax > 0
+        if x == self.xmin:
+            self.n_xmin -= 1
+            ok = ok and self.n_xmin > 0
+        if y == self.ymax:
+            self.n_ymax -= 1
+            ok = ok and self.n_ymax > 0
+        if y == self.ymin:
+            self.n_ymin -= 1
+            ok = ok and self.n_ymin > 0
+        return ok
+
+    def state(self) -> Tuple:
+        return (self.xmin, self.xmax, self.ymin, self.ymax,
+                self.n_xmin, self.n_xmax, self.n_ymin, self.n_ymax)
+
+    def restore(self, state: Tuple) -> None:
+        (self.xmin, self.xmax, self.ymin, self.ymax,
+         self.n_xmin, self.n_xmax, self.n_ymin, self.n_ymax) = state
+
+
 class AnnealingPlacer:
     """Criticality-weighted HPWL simulated annealing."""
 
@@ -88,18 +170,33 @@ class AnnealingPlacer:
                 f"grid has {grid.n_sites} sites for {len(self._instances)} instances"
             )
 
-        # Net membership per instance for incremental cost updates.
-        self._nets_of: Dict[str, List[str]] = {name: [] for name in self._instances}
-        for net_name, net in netlist.nets.items():
-            members: Set[str] = set()
-            if net.driver is not None:
-                members.add(net.driver[0])
-            for sink_name, _pin in net.sinks:
-                members.add(sink_name)
-            for member in members:
-                self._nets_of[member].append(net_name)
-
+        # Per-instance net contributions for incremental cost updates:
+        # instance -> [(net, point multiplicity)], in netlist net order
+        # (deterministic — never hash-randomized set order).  Only nets
+        # with >= 2 points can ever have nonzero cost ("active").
+        self._contrib_of: Dict[str, List[Tuple[str, int]]] = {
+            name: [] for name in self._instances
+        }
+        self._active_nets: List[str] = []
+        self._weight: Dict[str, float] = {}
         self.pads = grid.pad_positions(list(netlist.inputs) + list(netlist.outputs))
+        for net_name, net in netlist.nets.items():
+            counts: Dict[str, int] = {}
+            if net.driver is not None:
+                counts[net.driver[0]] = counts.get(net.driver[0], 0) + 1
+            for sink_name, _pin in net.sinks:
+                counts[sink_name] = counts.get(sink_name, 0) + 1
+            n_points = sum(counts.values()) + (1 if net_name in self.pads else 0)
+            if n_points < 2:
+                continue
+            self._active_nets.append(net_name)
+            self._weight[net_name] = 1.0 + self.net_weights.get(net_name, 0.0)
+            for member, count in counts.items():
+                self._contrib_of[member].append((net_name, count))
+
+        # Mutable per-run state (populated by place()).
+        self._pos: Dict[str, Tuple[float, float]] = {}
+        self._boxes: Dict[str, _NetBox] = {}
 
     # ------------------------------------------------------------------
     def _initial_sites(self) -> Dict[str, Site]:
@@ -128,15 +225,29 @@ class AnnealingPlacer:
         weight = 1.0 + self.net_weights.get(net_name, 0.0)
         return _net_bbox_cost(self._net_points(sites, net_name), weight)
 
+    def _build_box(self, sites: Dict[str, Site], net_name: str) -> _NetBox:
+        return _NetBox(self._net_points(sites, net_name))
+
+    def _rebuild_boxes(
+        self, sites: Dict[str, Site], net_cost: Dict[str, float]
+    ) -> float:
+        """Full recompute of every active net's box and cost; returns total."""
+        for net_name in self._active_nets:
+            box = self._build_box(sites, net_name)
+            self._boxes[net_name] = box
+            net_cost[net_name] = self._weight[net_name] * box.half_perimeter()
+        return sum(net_cost.values())
+
     # ------------------------------------------------------------------
     def place(self) -> Placement:
         sites = self._initial_sites()
         occupant: Dict[Site, Optional[str]] = {s: None for s in self.grid.sites()}
         for name, site in sites.items():
             occupant[site] = name
+        self._pos = {name: self.grid.center_of(site) for name, site in sites.items()}
 
-        net_cost = {name: self._net_cost(sites, name) for name in self.netlist.nets}
-        total = sum(net_cost.values())
+        net_cost = {name: 0.0 for name in self.netlist.nets}
+        total = self._rebuild_boxes(sites, net_cost)
 
         if not self._movable:
             return Placement(grid=self.grid, sites=sites, pads=self.pads)
@@ -182,6 +293,8 @@ class AnnealingPlacer:
             else:
                 temperature *= 0.8
             range_limit = max(1.0, range_limit * (1.0 - 0.44 + ratio))
+            # Periodic exact rebuild bounds float drift in the running total.
+            total = self._rebuild_boxes(sites, net_cost)
             if ratio < 0.01 and temperature < min_temperature * 10:
                 break
 
@@ -198,6 +311,8 @@ class AnnealingPlacer:
         """Propose one move; returns (delta, undo) — undo None if invalid.
 
         The move is applied optimistically; call ``undo()`` to reject.
+        Only nets touching the moved instance(s) are updated, each in
+        O(1) via its cached bounding box.
         """
         mover = self._movable[self.rng.randrange(len(self._movable))]
         old_site = sites[mover]
@@ -210,29 +325,56 @@ class AnnealingPlacer:
         if other is not None and other in self.locked:
             return 0.0, None
 
-        affected = set(self._nets_of[mover])
-        if other is not None:
-            affected |= set(self._nets_of[other])
-        before = sum(net_cost[net] for net in affected)
+        pos = self._pos
+        old_pt = pos[mover]
+        new_pt = self.grid.center_of(new_site)
 
         sites[mover] = new_site
         occupant[new_site] = mover
         occupant[old_site] = other
+        pos[mover] = new_pt
         if other is not None:
             sites[other] = old_site
+            pos[other] = old_pt
 
-        new_costs = {net: self._net_cost(sites, net) for net in affected}
-        after = sum(new_costs.values())
-        for net, cost in new_costs.items():
+        # Point relocations per net, in deterministic contribution order.
+        changes: Dict[str, List[Tuple[Tuple[float, float], Tuple[float, float], int]]]
+        changes = {}
+        for net, count in self._contrib_of[mover]:
+            changes.setdefault(net, []).append((old_pt, new_pt, count))
+        if other is not None:
+            for net, count in self._contrib_of[other]:
+                changes.setdefault(net, []).append((new_pt, old_pt, count))
+
+        boxes = self._boxes
+        delta = 0.0
+        saved: List[Tuple[str, float, Tuple]] = []
+        for net, moves in changes.items():
+            box = boxes[net]
+            saved.append((net, net_cost[net], box.state()))
+            intact = True
+            for from_pt, to_pt, count in moves:
+                for _ in range(count):
+                    box.add(to_pt[0], to_pt[1])
+                    intact = box.remove(from_pt[0], from_pt[1]) and intact
+            if not intact:
+                box = self._build_box(sites, net)
+                boxes[net] = box
+            cost = self._weight[net] * box.half_perimeter()
+            delta += cost - net_cost[net]
             net_cost[net] = cost
 
         def undo():
             sites[mover] = old_site
             occupant[old_site] = mover
             occupant[new_site] = other
+            pos[mover] = old_pt
             if other is not None:
                 sites[other] = new_site
-            for net in affected:
-                net_cost[net] = self._net_cost(sites, net)
+                pos[other] = new_pt
+            for net, cost, state in saved:
+                net_cost[net] = cost
+                boxes[net].restore(state)
 
-        return after - before, undo
+        return delta, undo
+    # ------------------------------------------------------------------

@@ -84,8 +84,27 @@ class PathFinderRouter:
         self.grid = grid
         self.history: Dict[Edge, float] = {}
         self.present: Dict[Edge, int] = {}
+        # Edges whose *next* use would overflow (usage >= tracks).  While
+        # zero and no history exists, every edge costs exactly 1.0 and
+        # A* takes a uniform-cost fast path with no cost lookups at all.
+        self._saturated = 0
 
     # ------------------------------------------------------------------
+    def _use(self, edge: Edge) -> None:
+        usage = self.present.get(edge, 0) + 1
+        self.present[edge] = usage
+        if usage == self.grid.tracks:
+            self._saturated += 1
+
+    def _release(self, edge: Edge) -> None:
+        usage = self.present.get(edge, 0) - 1
+        self.present[edge] = usage
+        if usage == self.grid.tracks - 1:
+            self._saturated -= 1
+
+    def _uncongested(self) -> bool:
+        return self._saturated == 0 and not self.history
+
     def _edge_cost(self, edge: Edge, present_factor: float) -> float:
         usage = self.present.get(edge, 0)
         over = max(0, usage + 1 - self.grid.tracks)
@@ -112,7 +131,7 @@ class PathFinderRouter:
                     edge = self.grid.edge(previous, b)
                     if edge not in net.edges:
                         net.edges.add(edge)
-                        self.present[edge] = self.present.get(edge, 0) + 1
+                        self._use(edge)
                 previous = b
         return net
 
@@ -123,6 +142,13 @@ class PathFinderRouter:
         best: Dict[Bin, float] = {}
         parent: Dict[Bin, Optional[Bin]] = {}
         counter = 0
+        # Fast path: with no history and no saturated edge, every edge
+        # costs exactly (1 + 0) * (1 + pf * 0) = 1.0, so the per-edge
+        # cost lookups can be skipped outright.  The Manhattan heuristic
+        # stays admissible (it equals the true remaining cost), and the
+        # numbers are bit-identical to the general path.
+        uniform = self._uncongested()
+        neighbors = self.grid.neighbors
         for s in sources:
             h = abs(s[0] - target[0]) + abs(s[1] - target[1])
             heapq.heappush(frontier, (h * 1.0, counter, s))
@@ -139,9 +165,12 @@ class PathFinderRouter:
                 path.reverse()
                 return path
             g = best[current]
-            for neighbor in self.grid.neighbors(current):
-                edge = self.grid.edge(current, neighbor)
-                ng = g + self._edge_cost(edge, present_factor)
+            for neighbor in neighbors(current):
+                if uniform:
+                    ng = g + 1.0
+                else:
+                    edge = self.grid.edge(current, neighbor)
+                    ng = g + self._edge_cost(edge, present_factor)
                 if neighbor not in best or ng < best[neighbor] - 1e-12:
                     best[neighbor] = ng
                     parent[neighbor] = current
@@ -152,7 +181,7 @@ class PathFinderRouter:
 
     def _rip_up(self, net: RoutedNet) -> None:
         for edge in net.edges:
-            self.present[edge] = self.present.get(edge, 0) - 1
+            self._release(edge)
 
     def _overused(self) -> List[Edge]:
         return [e for e, u in self.present.items() if u > self.grid.tracks]

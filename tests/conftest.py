@@ -9,6 +9,20 @@ from repro.core import granular_plb, lut_plb
 from repro.netlist import NetlistBuilder
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_stage_cache(tmp_path_factory):
+    """Point the flow stage cache at a per-session temp dir.
+
+    Keeps test runs from reading or polluting the developer's
+    ~/.cache/repro (fuzz tests alone would fill it with junk entries).
+    """
+    import os
+
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+
+
 def make_ripple_design(width: int = 4, name: str = "ripple"):
     """A small registered ripple adder (xor/mux/and mix) used widely."""
     b = NetlistBuilder(name)
