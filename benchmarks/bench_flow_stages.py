@@ -8,10 +8,25 @@ substrates themselves.
 Also measures the evaluation-matrix runner end to end — serial vs
 ``jobs=4`` workers, cold vs warm stage cache — and records the snapshot
 in ``results/perf_matrix.txt`` so the speedup is measured, not asserted.
+
+Runnable directly as a wall-time regression guard::
+
+    python benchmarks/bench_flow_stages.py --smoke            # check
+    python benchmarks/bench_flow_stages.py --smoke --record   # rebaseline
+
+``--smoke`` times one cold (design, arch) cell against the recorded
+baseline in ``benchmarks/perf_baseline.json`` and exits nonzero when the
+cold time regresses more than 2x — a coarse tripwire for accidentally
+disabling the persistent realization tables or the array cost engine.
 """
 
+import argparse
+import json
 import os
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
@@ -147,6 +162,9 @@ PERF_OPTIONS = FlowOptions(
     place_effort=0.1, place_iterations=1, pack_iterations=1, seed=7
 )
 
+#: Annotations for the per-stage breakdown in results/perf_matrix.txt.
+STAGE_LABELS = {"physical": "physical (SA placement)"}
+
 
 def _timed_matrix(monkeypatch, jobs, cache_dir):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
@@ -196,7 +214,8 @@ def test_matrix_serial_vs_parallel_cold_vs_warm(
     assert warm_serial * 5 <= cold_serial, "warm cache must be >= 5x faster"
 
     stage_lines = [
-        f"  {stage:10s} {runs_cold[cell].stage_seconds[stage]:8.3f} s"
+        f"  {STAGE_LABELS.get(stage, stage):24s} "
+        f"{runs_cold[cell].stage_seconds[stage]:8.3f} s"
         for cell in PERF_CELLS[:1]
         for stage in STAGES
     ]
@@ -230,3 +249,77 @@ def test_matrix_serial_vs_parallel_cold_vs_warm(
         lambda: run_cells(PERF_CELLS, PERF_SCALE, PERF_OPTIONS, jobs=1),
         rounds=1, iterations=1,
     )
+
+
+# ----------------------------------------------------------------------
+# Script mode: cold single-cell wall-time regression guard
+# ----------------------------------------------------------------------
+
+SMOKE_CELL = ("alu", "granular")
+SMOKE_SCALE = 0.3
+SMOKE_MAX_REGRESSION = 2.0
+BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
+
+
+def _time_smoke_cell() -> float:
+    """Cold wall time of one (design, arch) cell in a throwaway cache dir.
+
+    A fresh ``REPRO_CACHE_DIR`` guarantees every stage — including the
+    persisted realization tables — is computed, not loaded, so the
+    number tracks real kernel cost.
+    """
+    design, arch = SMOKE_CELL
+    netlist = build_design(design, scale=SMOKE_SCALE)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        start = time.perf_counter()
+        run_design(netlist, arch, PERF_OPTIONS)
+        return time.perf_counter() - start
+
+
+def run_smoke(record: bool) -> int:
+    design, arch = SMOKE_CELL
+    elapsed = _time_smoke_cell()
+    print(f"cold {design}/{arch} cell (scale {SMOKE_SCALE}): {elapsed:.2f} s")
+    if record:
+        BASELINE_PATH.write_text(json.dumps({
+            "design": design,
+            "arch": arch,
+            "scale": SMOKE_SCALE,
+            "seconds": round(elapsed, 3),
+        }, indent=2) + "\n")
+        print(f"baseline recorded to {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --record first",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    limit = baseline["seconds"] * SMOKE_MAX_REGRESSION
+    print(f"baseline {baseline['seconds']:.2f} s, "
+          f"limit {limit:.2f} s ({SMOKE_MAX_REGRESSION:.0f}x)")
+    if elapsed > limit:
+        print(f"FAIL: cold cell time {elapsed:.2f} s exceeds {limit:.2f} s",
+              file=sys.stderr)
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="flow-stage benchmarks (pytest) / perf smoke guard (script)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="time one cold cell against the recorded baseline")
+    parser.add_argument("--record", action="store_true",
+                        help="with --smoke: (re)write the baseline file")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run under pytest for the benchmarks, "
+                     "or pass --smoke for the regression guard")
+    return run_smoke(record=args.record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

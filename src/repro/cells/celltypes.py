@@ -33,6 +33,7 @@ PLB ~1.20x the LUT PLB, granular combinational area ~1.266x.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..logic.truthtable import TruthTable
@@ -43,6 +44,7 @@ from ..logic.truthtable import TruthTable
 TAU_NS = 0.012
 
 
+@lru_cache(maxsize=None)
 def _polarity_variants(base: TruthTable) -> FrozenSet[TruthTable]:
     """All input/output polarity variants of ``base`` (the "WI" behaviour)."""
     variants = set()
@@ -129,6 +131,7 @@ class CellType:
 # Base functions
 # ----------------------------------------------------------------------
 
+@lru_cache(maxsize=None)
 def nand_table(n: int) -> TruthTable:
     """n-input NAND."""
     acc = TruthTable.input_var(n, 0)
@@ -137,16 +140,19 @@ def nand_table(n: int) -> TruthTable:
     return ~acc
 
 
+@lru_cache(maxsize=None)
 def mux_table() -> TruthTable:
     """2:1 mux with pin order (S, A, B): ``S ? B : A``."""
     s, a, b = TruthTable.inputs(3)
     return TruthTable.mux(s, a, b)
 
 
+@lru_cache(maxsize=None)
 def buf_table() -> TruthTable:
     return TruthTable.input_var(1, 0)
 
 
+@lru_cache(maxsize=None)
 def inv_table() -> TruthTable:
     return ~TruthTable.input_var(1, 0)
 
@@ -155,6 +161,7 @@ def inv_table() -> TruthTable:
 # The component cells
 # ----------------------------------------------------------------------
 
+@lru_cache(maxsize=None)
 def make_inv() -> CellType:
     return CellType(
         name="INV", pins=("A",), feasible=frozenset({inv_table()}),
@@ -162,6 +169,7 @@ def make_inv() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_buf() -> CellType:
     return CellType(
         name="BUF", pins=("A",), feasible=frozenset({buf_table()}),
@@ -170,6 +178,7 @@ def make_buf() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_nd2wi() -> CellType:
     """2-input NAND with programmable input/output inversion (8 functions)."""
     return CellType(
@@ -179,6 +188,7 @@ def make_nd2wi() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_nd3wi() -> CellType:
     """3-input NAND with programmable input/output inversion (16 functions)."""
     return CellType(
@@ -188,6 +198,7 @@ def make_nd3wi() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_mux2() -> CellType:
     """Via-patterned 2:1 mux (pin order S, A, B; output ``S ? B : A``)."""
     return CellType(
@@ -197,6 +208,7 @@ def make_mux2() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_xoa() -> CellType:
     """The up-sized mux of the granular PLB.
 
@@ -212,6 +224,7 @@ def make_xoa() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_lut3() -> CellType:
     """Via-configured 3-LUT: an 8:1 mux tree, any 3-input function.
 
@@ -229,6 +242,7 @@ def make_lut3() -> CellType:
     )
 
 
+@lru_cache(maxsize=None)
 def make_dff() -> CellType:
     """D flip-flop; the one sequential component cell."""
     return CellType(

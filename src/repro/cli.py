@@ -12,6 +12,9 @@ Commands
     Rank candidate PLB architectures with the granularity explorer.
 ``vias``
     Print the via-programmability cost comparison of both PLBs.
+``profile``
+    cProfile one (design, arch) flow cell and print the hottest
+    functions — the quickest way to see where a flow run spends time.
 """
 
 from __future__ import annotations
@@ -113,6 +116,34 @@ def _cmd_vias(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from .flow.cache import NullCache, StageCache
+    from .flow.experiments import build_design
+    from .flow.flow import run_design
+    from .flow.options import FlowOptions
+
+    options = FlowOptions(
+        arch=args.arch, seed=args.seed, place_effort=args.effort,
+        use_cache=args.cache,
+    )
+    # Profile the computation, not pickle loads: default to NullCache so
+    # a warm stage cache can't hide the kernels being measured.
+    cache = StageCache() if args.cache else NullCache()
+    netlist = build_design(args.design, scale=args.scale)
+    print(f"Profiling {args.design} (scale {args.scale}) on the "
+          f"{args.arch} architecture (cache {'on' if args.cache else 'off'})...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_design(netlist, args.arch, options, cache=cache)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,6 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("explore", help="rank candidate PLB architectures")
     sub.add_parser("vias", help="via-programmability cost comparison")
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one (design, arch) flow cell"
+    )
+    profile.add_argument("design", choices=["alu", "fpu", "netswitch", "firewire"])
+    profile.add_argument("--arch", choices=["lut", "granular"], default="granular")
+    profile.add_argument("--scale", type=float, default=0.4)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--effort", type=float, default=0.2,
+                         help="placement effort (1.0 = full anneal)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of profile rows to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime", "ncalls"],
+                         help="pstats sort column")
+    profile.add_argument("--cache", action="store_true",
+                         help="profile with the stage cache enabled "
+                              "(default runs every stage cold)")
     return parser
 
 
@@ -158,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tables": _cmd_tables,
         "explore": _cmd_explore,
         "vias": _cmd_vias,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

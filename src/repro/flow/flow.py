@@ -30,7 +30,7 @@ import math
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..cells.characterize import TimingLibrary, characterize_library
 from ..cells.library import Library
@@ -303,12 +303,16 @@ def _cache_for(options: FlowOptions) -> StageCache:
 
 
 def run_design(
-    netlist: Netlist,
+    netlist: Union[Netlist, str],
     arch,
     options: Optional[FlowOptions] = None,
     cache: Optional[StageCache] = None,
 ) -> DesignRun:
     """Run both flows for one design on one architecture.
+
+    ``netlist`` is a :class:`~repro.netlist.core.Netlist`, or a design
+    name from :data:`repro.designs.DESIGN_BUILDERS` (``"alu"``,
+    ``"netswitch"``, ...) built at the ambient ``REPRO_SCALE``.
 
     ``arch`` is ``"lut"``, ``"granular"``, a registered custom name, or a
     :class:`~repro.core.plb.PLBArchitecture` instance (registered
@@ -321,6 +325,22 @@ def run_design(
     value to a cold computation — determinism of every stage per seed is
     what makes the cache sound.
     """
+    if isinstance(netlist, str):
+        from ..designs import DESIGN_BUILDERS
+
+        if netlist not in DESIGN_BUILDERS:
+            raise ValueError(
+                f"unknown design name {netlist!r} "
+                f"(choices: {sorted(DESIGN_BUILDERS)})"
+            )
+        from .experiments import build_design, design_scale
+
+        netlist = build_design(netlist, design_scale())
+    elif not isinstance(netlist, Netlist):
+        raise TypeError(
+            "run_design expects a Netlist or a design name (str), "
+            f"got {type(netlist).__name__}"
+        )
     if isinstance(arch, PLBArchitecture):
         register_architecture(arch)
         arch = arch.name

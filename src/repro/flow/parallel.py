@@ -39,6 +39,26 @@ def _run_cell(
     return cell, run_design(netlist, arch, options)
 
 
+def _warm_worker(arch_names: Tuple[str, ...]) -> None:
+    """Pool initializer: preload realization tables in each worker.
+
+    The tables are persisted through the content-addressed stage cache
+    (see :func:`repro.synth.realize.table_for_cells`), so a worker loads
+    the finished pickle — or, on a truly cold cache, builds and persists
+    it once for its siblings — before its first cell instead of paying
+    the derivation inside every cell's synthesis stage.  Best-effort:
+    custom architectures registered only in the parent are skipped.
+    """
+    from ..synth.realize import baseline_table, compaction_table
+
+    for arch in arch_names:
+        try:
+            baseline_table(arch)
+            compaction_table(arch)
+        except ValueError:
+            continue
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs`` value: ``None``/``0`` -> 1, negatives -> CPUs."""
     if jobs is None or jobs == 0:
@@ -64,7 +84,12 @@ def run_cells(
     if jobs <= 1 or len(cells) <= 1:
         return {cell: _run_cell(cell, scale, options)[1] for cell in cells}
     runs: Dict[Tuple[str, str], DesignRun] = {}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+    arch_names = tuple(dict.fromkeys(arch for _design, arch in cells))
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)),
+        initializer=_warm_worker,
+        initargs=(arch_names,),
+    ) as pool:
         for cell, run in pool.map(
             _run_cell, cells, [scale] * len(cells), [options] * len(cells)
         ):

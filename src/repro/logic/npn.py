@@ -7,8 +7,14 @@ matching in :mod:`repro.synth.techmap` and the component feasibility sets in
 polarity (the paper's "with programmable inversion" gates, and a fabric that
 offers both polarities of every signal) matches every function in the class.
 
-Canonicalization is exhaustive (``2^n * n! * 2`` transforms), which is the
-right tool for n <= 4.
+Canonicalization for n <= 3 goes through an exact precomputed lookup
+table: every NPN transform reduces to a row permutation plus an output
+complement, so the whole ``mask -> (canonical mask, transform)`` map for
+the 256 3-input functions is derived once (per input count) and each
+subsequent call is a tuple index.  The result is *identical* to the
+exhaustive ``2^n * n! * 2`` search — the table is built by running that
+search with the same transform ordering and first-minimum tie-break —
+which remains the fallback for n = 4.
 """
 
 from __future__ import annotations
@@ -53,14 +59,90 @@ def npn_transforms(n_inputs: int):
                 yield NPNTransform(perm, input_flips, output_flip)
 
 
+#: Input counts served by the exact lookup table (n=3 costs 256 entries
+#: x 96 transforms to build once; n=4 would be 65536 x 768).
+_LUT_MAX_INPUTS = 3
+
+
+@lru_cache(maxsize=None)
+def _transforms_of(n_inputs: int) -> Tuple[NPNTransform, ...]:
+    return tuple(npn_transforms(n_inputs))
+
+
+@lru_cache(maxsize=None)
+def _row_maps(n_inputs: int) -> Tuple[Tuple[Tuple[int, ...], bool], ...]:
+    """Per transform: the row permutation it induces, plus the output flip.
+
+    ``apply`` is ``permute`` then per-input ``flip_input`` then an
+    optional complement; the first two compose into a pure row relabeling
+    ``new bit r = old bit P(r ^ F)`` where ``P`` routes index bit ``i``
+    to ``perm[i]`` and ``F`` is the input-flip mask.
+    """
+    maps = []
+    for t in _transforms_of(n_inputs):
+        rows = []
+        for row in range(1 << n_inputs):
+            src = row ^ t.input_flips
+            old_row = 0
+            for i, old_i in enumerate(t.perm):
+                if (src >> i) & 1:
+                    old_row |= 1 << old_i
+            rows.append(old_row)
+        maps.append((tuple(rows), t.output_flip))
+    return tuple(maps)
+
+
+@lru_cache(maxsize=None)
+def _canonical_lut(n_inputs: int) -> Tuple[Tuple[int, int], ...]:
+    """``mask -> (canonical mask, transform index)`` for every function.
+
+    Iterates transforms in :func:`npn_transforms` order keeping the first
+    strict minimum, exactly like the exhaustive search, so the two paths
+    agree bit for bit (asserted by the test suite over all 256 masks).
+    """
+    n_rows = 1 << n_inputs
+    full = (1 << n_rows) - 1
+    maps = _row_maps(n_inputs)
+    lut = []
+    for mask in range(full + 1):
+        best = None
+        best_index = 0
+        for index, (rows, output_flip) in enumerate(maps):
+            candidate = 0
+            for row in range(n_rows):
+                if (mask >> rows[row]) & 1:
+                    candidate |= 1 << row
+            if output_flip:
+                candidate ^= full
+            if best is None or candidate < best:
+                best = candidate
+                best_index = index
+        lut.append((best, best_index))
+    return tuple(lut)
+
+
 def npn_canonical(table: TruthTable) -> TruthTable:
     """The canonical (minimum-mask) representative of the NPN class."""
+    if table.n_inputs <= _LUT_MAX_INPUTS:
+        canon_mask, _index = _canonical_lut(table.n_inputs)[table.mask]
+        return TruthTable(table.n_inputs, canon_mask)
     canon, _ = npn_canonical_with_transform(table)
     return canon
 
 
 def npn_canonical_with_transform(table: TruthTable) -> Tuple[TruthTable, NPNTransform]:
     """Canonical representative plus a transform mapping ``table`` to it."""
+    if table.n_inputs <= _LUT_MAX_INPUTS:
+        canon_mask, index = _canonical_lut(table.n_inputs)[table.mask]
+        return (
+            TruthTable(table.n_inputs, canon_mask),
+            _transforms_of(table.n_inputs)[index],
+        )
+    return _npn_canonical_exhaustive(table)
+
+
+def _npn_canonical_exhaustive(table: TruthTable) -> Tuple[TruthTable, NPNTransform]:
+    """The plain ``2^n * n! * 2`` search (fallback and golden reference)."""
     best = None
     best_transform = None
     for transform in npn_transforms(table.n_inputs):

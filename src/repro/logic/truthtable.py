@@ -10,12 +10,20 @@ This convention makes Shannon cofactoring, input permutation and polarity
 manipulation cheap bit arithmetic, which the architecture-analysis code in
 :mod:`repro.core` relies on heavily (it enumerates all 256 3-input
 functions many times).
+
+Small tables (``n_inputs <= 4``) are *interned*: the constructor returns
+the one canonical instance per ``(n_inputs, mask)`` pair, so the
+realization-table and NPN machinery — which construct the same few
+hundred functions tens of millions of times — pay a dict lookup instead
+of an allocation, and equality on the hot paths short-circuits on
+identity.  Interning is purely an optimization; value semantics
+(``__eq__``/``__hash__``/pickling) are unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 
 def _row_count(n_inputs: int) -> int:
@@ -24,6 +32,28 @@ def _row_count(n_inputs: int) -> int:
 
 def _full_mask(n_inputs: int) -> int:
     return (1 << _row_count(n_inputs)) - 1
+
+
+#: Tables with at most this many inputs are interned (n=4 tops out at
+#: 65536 distinct functions; beyond that masks are huge and rare).
+_INTERN_MAX_INPUTS = 4
+
+_interned: Dict[Tuple[int, int], "TruthTable"] = {}
+
+_var_masks: Dict[Tuple[int, int], int] = {}
+
+
+def _var_mask(n_inputs: int, index: int) -> int:
+    """Bitmask of rows where input ``index`` is 1 (cached projection)."""
+    key = (n_inputs, index)
+    mask = _var_masks.get(key)
+    if mask is None:
+        mask = 0
+        for row in range(_row_count(n_inputs)):
+            if (row >> index) & 1:
+                mask |= 1 << row
+        _var_masks[key] = mask
+    return mask
 
 
 class TruthTable:
@@ -49,14 +79,24 @@ class TruthTable:
 
     MAX_INPUTS = 16
 
-    def __init__(self, n_inputs: int, mask: int):
-        if not 0 <= n_inputs <= self.MAX_INPUTS:
-            raise ValueError(f"n_inputs must be in [0, {self.MAX_INPUTS}], got {n_inputs}")
+    def __new__(cls, n_inputs: int, mask: int):
+        # Interned fast path: only validated instances enter the cache, so
+        # a hit needs no re-validation.  Subclasses bypass the cache.
+        if cls is TruthTable:
+            cached = _interned.get((n_inputs, mask))
+            if cached is not None:
+                return cached
+        if not 0 <= n_inputs <= cls.MAX_INPUTS:
+            raise ValueError(f"n_inputs must be in [0, {cls.MAX_INPUTS}], got {n_inputs}")
         full = _full_mask(n_inputs)
         if not 0 <= mask <= full:
             raise ValueError(f"mask {mask:#x} out of range for {n_inputs} inputs")
+        self = object.__new__(cls)
         object.__setattr__(self, "n_inputs", n_inputs)
         object.__setattr__(self, "mask", mask)
+        if cls is TruthTable and n_inputs <= _INTERN_MAX_INPUTS:
+            _interned[(n_inputs, mask)] = self
+        return self
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("TruthTable is immutable")
@@ -79,11 +119,7 @@ class TruthTable:
         """The projection function returning input ``index``."""
         if not 0 <= index < n_inputs:
             raise ValueError(f"input index {index} out of range for {n_inputs} inputs")
-        mask = 0
-        for row in range(_row_count(n_inputs)):
-            if (row >> index) & 1:
-                mask |= 1 << row
-        return cls(n_inputs, mask)
+        return cls(n_inputs, _var_mask(n_inputs, index))
 
     @classmethod
     def inputs(cls, n_inputs: int) -> Tuple["TruthTable", ...]:
@@ -126,6 +162,8 @@ class TruthTable:
     # Basic protocol
     # ------------------------------------------------------------------
     def __eq__(self, other) -> bool:
+        if self is other:  # interned tables compare by identity first
+            return True
         if not isinstance(other, TruthTable):
             return NotImplemented
         return self.n_inputs == other.n_inputs and self.mask == other.mask
@@ -208,12 +246,28 @@ class TruthTable:
         return TruthTable(new_n, mask)
 
     def depends_on(self, index: int) -> bool:
-        """True when the output actually depends on input ``index``."""
-        return self.cofactor(index, 0) != self.cofactor(index, 1)
+        """True when the output actually depends on input ``index``.
+
+        Equivalent to comparing the two Shannon cofactors, computed as
+        pure bit arithmetic: within every aligned block of ``2**(i+1)``
+        rows the upper half (input ``i`` = 1), shifted down onto the
+        lower half, must match it exactly for the input to be unused.
+        """
+        if not 0 <= index < self.n_inputs:
+            raise ValueError(f"input index {index} out of range")
+        low_rows = _full_mask(self.n_inputs) & ~_var_mask(self.n_inputs, index)
+        return ((self.mask >> (1 << index)) & low_rows) != (self.mask & low_rows)
 
     def support(self) -> Tuple[int, ...]:
         """Indices of inputs the function truly depends on."""
-        return tuple(i for i in range(self.n_inputs) if self.depends_on(i))
+        mask, n = self.mask, self.n_inputs
+        full = _full_mask(n)
+        out = []
+        for i in range(n):
+            low_rows = full & ~_var_mask(n, i)
+            if ((mask >> (1 << i)) & low_rows) != (mask & low_rows):
+                out.append(i)
+        return tuple(out)
 
     def flip_input(self, index: int) -> "TruthTable":
         """Complement input ``index`` (i.e. ``f(..., x_i', ...)``)."""

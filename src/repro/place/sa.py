@@ -14,6 +14,21 @@ boundary moves off it (so the cached box is exact at all times, never an
 approximation), and all boxes are rebuilt at every temperature step to
 bound floating-point drift in the accumulated total.
 
+Two interchangeable *cost engines* implement that bookkeeping:
+
+* ``"array"`` (the default) — flat preallocated arrays of per-net
+  min/max/boundary-occupancy state and per-cell coordinates.  The
+  per-temperature exact rebuild is evaluated for all nets at once
+  (vectorized through numpy when available, a scalar loop over the
+  same flat layout otherwise), and the per-move path updates scalar
+  slots with no object allocation.
+* ``"object"`` — the legacy per-net :class:`_NetBox` objects.
+
+Both engines perform the identical sequence of float operations, so
+costs, acceptance decisions, and final placements are bit-identical
+(asserted by the test suite); select with ``AnnealingPlacer(engine=...)``
+or the ``REPRO_SA_ENGINE`` environment variable.
+
 The placer is deterministic for a given seed — including across
 processes: per-move cost deltas are summed in a fixed net order derived
 from netlist insertion order, never from (hash-randomized) set order —
@@ -25,16 +40,25 @@ keep their PLB positions).
 from __future__ import annotations
 
 import math
+import os
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..netlist.core import Netlist
 from .grid import PlacementGrid, Site
 
+try:  # vectorized rebuilds when numpy is around; pure-Python otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback flag
+    _np = None
+
 #: Moves per temperature = MOVES_PER_CELL * n_cells ** 1.33, capped.
 MOVES_PER_CELL = 1.0
 MOVE_CAP_PER_TEMPERATURE = 40_000
+
+#: Environment override for the cost-engine choice ("array" | "object").
+ENGINE_ENV = "REPRO_SA_ENGINE"
 
 
 @dataclass
@@ -144,6 +168,453 @@ class _NetBox:
          self.n_xmin, self.n_xmax, self.n_ymin, self.n_ymax) = state
 
 
+class _ObjectCostEngine:
+    """The legacy cost path: one ``_NetBox`` per net, dict-keyed state."""
+
+    name = "object"
+
+    def __init__(self, placer: "AnnealingPlacer", sites: Dict[str, Site]):
+        self.placer = placer
+        self.sites = sites
+        self.pos: Dict[str, Tuple[float, float]] = {
+            name: placer.grid.center_of(site) for name, site in sites.items()
+        }
+        self.boxes: Dict[str, _NetBox] = {}
+        self.net_cost: Dict[str, float] = {
+            name: 0.0 for name in placer.netlist.nets
+        }
+        self._saved: List[Tuple[str, float, Tuple]] = []
+        self._last_pos: Tuple = ()
+
+    # -- exact state -----------------------------------------------------
+    def _net_points(self, net_name: str) -> List[Tuple[float, float]]:
+        placer = self.placer
+        net = placer.netlist.nets[net_name]
+        points: List[Tuple[float, float]] = []
+        if net.driver is not None:
+            points.append(placer.grid.center_of(self.sites[net.driver[0]]))
+        if net_name in placer.pads:
+            points.append(placer.pads[net_name])
+        for sink_name, _pin in net.sinks:
+            points.append(placer.grid.center_of(self.sites[sink_name]))
+        return points
+
+    def _build_box(self, net_name: str) -> _NetBox:
+        return _NetBox(self._net_points(net_name))
+
+    def rebuild(self) -> float:
+        """Full recompute of every active net's box and cost; returns total."""
+        placer = self.placer
+        for net_name in placer._active_nets:
+            box = self._build_box(net_name)
+            self.boxes[net_name] = box
+            self.net_cost[net_name] = placer._weight[net_name] * box.half_perimeter()
+        return sum(self.net_cost.values())
+
+    def net_costs(self) -> Dict[str, float]:
+        """Per-net weighted cost for every active (>= 2 point) net."""
+        return {net: self.net_cost[net] for net in self.placer._active_nets}
+
+    # -- move path -------------------------------------------------------
+    def apply_move(
+        self, mover: str, other: Optional[str], old_site: Site, new_site: Site
+    ) -> float:
+        """Update positions/boxes for a swap already made in ``sites``.
+
+        Only nets touching the moved instance(s) change, each in O(1) via
+        its cached bounding box; call :meth:`undo` to roll back.
+        """
+        placer = self.placer
+        pos = self.pos
+        old_pt = pos[mover]
+        new_pt = placer.grid.center_of(new_site)
+        pos[mover] = new_pt
+        if other is not None:
+            pos[other] = old_pt
+        self._last_pos = (mover, other, old_pt, new_pt)
+
+        # Point relocations per net, in deterministic contribution order.
+        changes: Dict[str, List[Tuple[Tuple[float, float], Tuple[float, float], int]]]
+        changes = {}
+        for net, count in placer._contrib_of[mover]:
+            changes.setdefault(net, []).append((old_pt, new_pt, count))
+        if other is not None:
+            for net, count in placer._contrib_of[other]:
+                changes.setdefault(net, []).append((new_pt, old_pt, count))
+
+        boxes = self.boxes
+        net_cost = self.net_cost
+        delta = 0.0
+        saved: List[Tuple[str, float, Tuple]] = []
+        for net, moves in changes.items():
+            box = boxes[net]
+            saved.append((net, net_cost[net], box.state()))
+            intact = True
+            for from_pt, to_pt, count in moves:
+                for _ in range(count):
+                    box.add(to_pt[0], to_pt[1])
+                    intact = box.remove(from_pt[0], from_pt[1]) and intact
+            if not intact:
+                box = self._build_box(net)
+                boxes[net] = box
+            cost = placer._weight[net] * box.half_perimeter()
+            delta += cost - net_cost[net]
+            net_cost[net] = cost
+        self._saved = saved
+        return delta
+
+    def undo(self) -> None:
+        mover, other, old_pt, new_pt = self._last_pos
+        self.pos[mover] = old_pt
+        if other is not None:
+            self.pos[other] = new_pt
+        for net, cost, state in self._saved:
+            self.net_cost[net] = cost
+            self.boxes[net].restore(state)
+
+
+class _ArrayCostEngine:
+    """Flat-array cost state: no per-move object churn, batched rebuilds.
+
+    Per-net bounding boxes and boundary-occupancy counts live in
+    flat preallocated arrays indexed by a dense net index; per-cell
+    coordinates live in flat position arrays indexed by a dense instance
+    index.  The per-temperature exact rebuild evaluates every net at
+    once — ``numpy`` min/max/count reductions over a flattened
+    point-membership layout when available, a scalar loop over the same
+    flat arrays otherwise — and the per-move path touches only plain
+    float/int slots.  Every arithmetic operation mirrors the object
+    engine exactly, so results are bit-identical.
+    """
+
+    name = "array"
+
+    def __init__(self, placer: "AnnealingPlacer", sites: Dict[str, Site]):
+        self.placer = placer
+        grid = placer.grid
+        pitch = grid.pitch
+        # Site-center coordinate tables: center_of((c, r)) without the
+        # per-move method call (identical expression, identical bits).
+        self.col_x = [(col + 0.5) * pitch for col in range(grid.cols)]
+        self.row_y = [(row + 0.5) * pitch for row in range(grid.rows)]
+
+        # Flat per-cell / per-net state lives in preallocated Python
+        # lists of doubles rather than ``array('d')``: element access in
+        # the per-move hot loop is measurably faster because lists hold
+        # the boxed floats directly (``array`` re-boxes on every read),
+        # and the values are the same IEEE doubles either way.  The
+        # batched rebuild converts to numpy views in bulk.
+        names = placer._instances
+        self.index_of = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        self.pos_x = [0.0] * n
+        self.pos_y = [0.0] * n
+        for name, site in sites.items():
+            i = self.index_of[name]
+            self.pos_x[i] = self.col_x[site[0]]
+            self.pos_y[i] = self.row_y[site[1]]
+
+        nets = placer._active_nets
+        m = len(nets)
+        self.net_index = {net: i for i, net in enumerate(nets)}
+        self.weight = [placer._weight[net] for net in nets]
+        # Box state, one slot per active net.
+        self.xmin = [0.0] * m
+        self.xmax = [0.0] * m
+        self.ymin = [0.0] * m
+        self.ymax = [0.0] * m
+        self.n_xmin = [0] * m
+        self.n_xmax = [0] * m
+        self.n_ymin = [0] * m
+        self.n_ymax = [0] * m
+        self.cost = [0.0] * m
+
+        # Per-instance contributions as (net index, multiplicity) pairs.
+        self.contrib: List[List[Tuple[int, int]]] = [[] for _ in names]
+        for name, entries in placer._contrib_of.items():
+            i = self.index_of[name]
+            self.contrib[i] = [
+                (self.net_index[net], count) for net, count in entries
+            ]
+
+        # Flattened per-net point membership (instance index, or -1 for
+        # the net's pad point), multiplicities expanded.  Segment k spans
+        # offsets[k]:offsets[k+1] in the flat arrays.
+        flat_inst: List[int] = []
+        flat_pad_x: List[float] = []
+        flat_pad_y: List[float] = []
+        offsets = [0]
+        self.members: List[List[int]] = []
+        self.pad_of: List[Optional[Tuple[float, float]]] = []
+        for net_name in nets:
+            net = placer.netlist.nets[net_name]
+            members: List[int] = []
+            if net.driver is not None:
+                members.append(self.index_of[net.driver[0]])
+            for sink_name, _pin in net.sinks:
+                members.append(self.index_of[sink_name])
+            pad = placer.pads.get(net_name)
+            self.members.append(members)
+            self.pad_of.append(pad)
+            for idx in members:
+                flat_inst.append(idx)
+                flat_pad_x.append(0.0)
+                flat_pad_y.append(0.0)
+            if pad is not None:
+                flat_inst.append(-1)
+                flat_pad_x.append(pad[0])
+                flat_pad_y.append(pad[1])
+            offsets.append(len(flat_inst))
+
+        self._flat_inst = flat_inst
+        self._flat_pad_x = flat_pad_x
+        self._flat_pad_y = flat_pad_y
+        self._offsets = offsets
+        if _np is not None and m:
+            self._np_inst = _np.asarray(flat_inst, dtype=_np.int64)
+            self._np_gather = _np.maximum(self._np_inst, 0)
+            self._np_is_pad = self._np_inst < 0
+            self._np_pad_x = _np.asarray(flat_pad_x)
+            self._np_pad_y = _np.asarray(flat_pad_y)
+            self._np_offsets = _np.asarray(offsets[:-1], dtype=_np.int64)
+            self._np_sizes = _np.diff(_np.asarray(offsets, dtype=_np.int64))
+            self._np_weight = _np.asarray(self.weight)
+
+        # Undo scratch (filled by apply_move).
+        self._saved: List[Tuple[int, float, float, float, float, float,
+                                int, int, int, int]] = []
+        self._last_pos: Tuple = ()
+
+    # -- exact state -----------------------------------------------------
+    def _rebuild_net(self, k: int) -> None:
+        """Exact box for one net from the flat point membership."""
+        pos_x, pos_y = self.pos_x, self.pos_y
+        members = self.members[k]
+        xs = [pos_x[i] for i in members]
+        ys = [pos_y[i] for i in members]
+        pad = self.pad_of[k]
+        if pad is not None:
+            xs.append(pad[0])
+            ys.append(pad[1])
+        if len(xs) == 2:
+            # Two-point nets dominate rebuilds (any move of one endpoint
+            # empties a boundary) — branch instead of min/max/count.
+            x0, x1 = xs
+            y0, y1 = ys
+            if x0 <= x1:
+                self.xmin[k] = x0
+                self.xmax[k] = x1
+            else:
+                self.xmin[k] = x1
+                self.xmax[k] = x0
+            self.n_xmin[k] = self.n_xmax[k] = 2 if x0 == x1 else 1
+            if y0 <= y1:
+                self.ymin[k] = y0
+                self.ymax[k] = y1
+            else:
+                self.ymin[k] = y1
+                self.ymax[k] = y0
+            self.n_ymin[k] = self.n_ymax[k] = 2 if y0 == y1 else 1
+            return
+        xmin = min(xs)
+        xmax = max(xs)
+        ymin = min(ys)
+        ymax = max(ys)
+        self.xmin[k] = xmin
+        self.xmax[k] = xmax
+        self.ymin[k] = ymin
+        self.ymax[k] = ymax
+        self.n_xmin[k] = xs.count(xmin)
+        self.n_xmax[k] = xs.count(xmax)
+        self.n_ymin[k] = ys.count(ymin)
+        self.n_ymax[k] = ys.count(ymax)
+
+    def rebuild(self) -> float:
+        """Batched exact recompute of every net's box; returns the total.
+
+        The total is accumulated left to right in active-net order — the
+        same order (and therefore the same float value) as the object
+        engine's ``sum`` over its per-net cost dict.
+        """
+        m = len(self.cost)
+        if _np is not None and m:
+            inst = self._np_gather
+            px = _np.asarray(self.pos_x)
+            py = _np.asarray(self.pos_y)
+            x = _np.where(self._np_is_pad, self._np_pad_x, px[inst])
+            y = _np.where(self._np_is_pad, self._np_pad_y, py[inst])
+            offsets = self._np_offsets
+            xmin = _np.minimum.reduceat(x, offsets)
+            xmax = _np.maximum.reduceat(x, offsets)
+            ymin = _np.minimum.reduceat(y, offsets)
+            ymax = _np.maximum.reduceat(y, offsets)
+            sizes = self._np_sizes
+            n_xmin = _np.add.reduceat(x == _np.repeat(xmin, sizes), offsets)
+            n_xmax = _np.add.reduceat(x == _np.repeat(xmax, sizes), offsets)
+            n_ymin = _np.add.reduceat(y == _np.repeat(ymin, sizes), offsets)
+            n_ymax = _np.add.reduceat(y == _np.repeat(ymax, sizes), offsets)
+            cost = self._np_weight * ((xmax - xmin) + (ymax - ymin))
+            self.xmin = xmin.tolist()
+            self.xmax = xmax.tolist()
+            self.ymin = ymin.tolist()
+            self.ymax = ymax.tolist()
+            self.n_xmin = n_xmin.tolist()
+            self.n_xmax = n_xmax.tolist()
+            self.n_ymin = n_ymin.tolist()
+            self.n_ymax = n_ymax.tolist()
+            costs = cost.tolist()
+            self.cost = costs
+            total = 0.0
+            for c in costs:
+                total += c
+            return total
+        total = 0.0
+        for k in range(m):
+            self._rebuild_net(k)
+            cost = self.weight[k] * (
+                (self.xmax[k] - self.xmin[k]) + (self.ymax[k] - self.ymin[k])
+            )
+            self.cost[k] = cost
+            total += cost
+        return total
+
+    def net_costs(self) -> Dict[str, float]:
+        return {net: self.cost[k] for net, k in self.net_index.items()}
+
+    # -- move path -------------------------------------------------------
+    def apply_move(
+        self, mover: str, other: Optional[str], old_site: Site, new_site: Site
+    ) -> float:
+        """Array mirror of the object engine's incremental move update."""
+        mi = self.index_of[mover]
+        old_x = self.pos_x[mi]
+        old_y = self.pos_y[mi]
+        new_x = self.col_x[new_site[0]]
+        new_y = self.row_y[new_site[1]]
+        self.pos_x[mi] = new_x
+        self.pos_y[mi] = new_y
+        oi = -1
+        if other is not None:
+            oi = self.index_of[other]
+            self.pos_x[oi] = old_x
+            self.pos_y[oi] = old_y
+        self._last_pos = (mi, oi, old_x, old_y, new_x, new_y)
+
+        # Relocations per net in first-touch order (mover, then other).
+        changes: Dict[int, List[Tuple[float, float, float, float, int]]] = {}
+        for k, count in self.contrib[mi]:
+            changes.setdefault(k, []).append((old_x, old_y, new_x, new_y, count))
+        if oi >= 0:
+            for k, count in self.contrib[oi]:
+                changes.setdefault(k, []).append((new_x, new_y, old_x, old_y, count))
+
+        s_xmin = self.xmin
+        s_xmax = self.xmax
+        s_ymin = self.ymin
+        s_ymax = self.ymax
+        s_n_xmin = self.n_xmin
+        s_n_xmax = self.n_xmax
+        s_n_ymin = self.n_ymin
+        s_n_ymax = self.n_ymax
+        s_cost = self.cost
+        s_weight = self.weight
+        delta = 0.0
+        saved = []
+        for k, moves in changes.items():
+            xmin = s_xmin[k]
+            xmax = s_xmax[k]
+            ymin = s_ymin[k]
+            ymax = s_ymax[k]
+            n_xmin = s_n_xmin[k]
+            n_xmax = s_n_xmax[k]
+            n_ymin = s_n_ymin[k]
+            n_ymax = s_n_ymax[k]
+            old_cost = s_cost[k]
+            saved.append((k, old_cost, xmin, xmax, ymin, ymax,
+                          n_xmin, n_xmax, n_ymin, n_ymax))
+            intact = True
+            for fx, fy, tx, ty, count in moves:
+                for _ in range(count):
+                    # add (tx, ty)
+                    if tx > xmax:
+                        xmax, n_xmax = tx, 1
+                    elif tx == xmax:
+                        n_xmax += 1
+                    if tx < xmin:
+                        xmin, n_xmin = tx, 1
+                    elif tx == xmin:
+                        n_xmin += 1
+                    if ty > ymax:
+                        ymax, n_ymax = ty, 1
+                    elif ty == ymax:
+                        n_ymax += 1
+                    if ty < ymin:
+                        ymin, n_ymin = ty, 1
+                    elif ty == ymin:
+                        n_ymin += 1
+                    # remove (fx, fy); a boundary hitting zero occupancy
+                    # invalidates the box (exact rebuild below)
+                    if fx == xmax:
+                        n_xmax -= 1
+                        intact = intact and n_xmax > 0
+                    if fx == xmin:
+                        n_xmin -= 1
+                        intact = intact and n_xmin > 0
+                    if fy == ymax:
+                        n_ymax -= 1
+                        intact = intact and n_ymax > 0
+                    if fy == ymin:
+                        n_ymin -= 1
+                        intact = intact and n_ymin > 0
+            if intact:
+                s_xmin[k] = xmin
+                s_xmax[k] = xmax
+                s_ymin[k] = ymin
+                s_ymax[k] = ymax
+                s_n_xmin[k] = n_xmin
+                s_n_xmax[k] = n_xmax
+                s_n_ymin[k] = n_ymin
+                s_n_ymax[k] = n_ymax
+            else:
+                self._rebuild_net(k)
+                xmin = s_xmin[k]
+                xmax = s_xmax[k]
+                ymin = s_ymin[k]
+                ymax = s_ymax[k]
+            cost = s_weight[k] * ((xmax - xmin) + (ymax - ymin))
+            delta += cost - old_cost
+            s_cost[k] = cost
+        self._saved = saved
+        return delta
+
+    def undo(self) -> None:
+        mi, oi, old_x, old_y, new_x, new_y = self._last_pos
+        self.pos_x[mi] = old_x
+        self.pos_y[mi] = old_y
+        if oi >= 0:
+            self.pos_x[oi] = new_x
+            self.pos_y[oi] = new_y
+        for (k, cost, xmin, xmax, ymin, ymax,
+             n_xmin, n_xmax, n_ymin, n_ymax) in self._saved:
+            self.cost[k] = cost
+            self.xmin[k] = xmin
+            self.xmax[k] = xmax
+            self.ymin[k] = ymin
+            self.ymax[k] = ymax
+            self.n_xmin[k] = n_xmin
+            self.n_xmax[k] = n_xmax
+            self.n_ymin[k] = n_ymin
+            self.n_ymax[k] = n_ymax
+
+
+_ENGINES = {"array": _ArrayCostEngine, "object": _ObjectCostEngine}
+
+
+def default_engine() -> str:
+    """The cost-engine choice: ``$REPRO_SA_ENGINE`` or ``"array"``."""
+    return os.environ.get(ENGINE_ENV, "").strip().lower() or "array"
+
+
 class AnnealingPlacer:
     """Criticality-weighted HPWL simulated annealing."""
 
@@ -155,6 +626,7 @@ class AnnealingPlacer:
         seed: int = 0,
         locked: Optional[Mapping[str, Site]] = None,
         effort: float = 1.0,
+        engine: Optional[str] = None,
     ):
         self.netlist = netlist
         self.grid = grid
@@ -162,6 +634,12 @@ class AnnealingPlacer:
         self.net_weights = dict(net_weights or {})
         self.locked = dict(locked or {})
         self.effort = effort
+        self.engine_name = (engine or default_engine()).lower()
+        if self.engine_name not in _ENGINES:
+            raise ValueError(
+                f"unknown SA cost engine {self.engine_name!r} "
+                f"(choices: {sorted(_ENGINES)})"
+            )
 
         self._instances = list(netlist.instances)
         self._movable = [n for n in self._instances if n not in self.locked]
@@ -194,9 +672,9 @@ class AnnealingPlacer:
             for member, count in counts.items():
                 self._contrib_of[member].append((net_name, count))
 
-        # Mutable per-run state (populated by place()).
-        self._pos: Dict[str, Tuple[float, float]] = {}
-        self._boxes: Dict[str, _NetBox] = {}
+        # Populated by place(): the engine used and the final exact cost.
+        self._engine = None
+        self.final_cost: Optional[float] = None
 
     # ------------------------------------------------------------------
     def _initial_sites(self) -> Dict[str, Site]:
@@ -208,48 +686,18 @@ class AnnealingPlacer:
             sites[name] = free.pop()
         return sites
 
-    def _net_points(
-        self, sites: Dict[str, Site], net_name: str
-    ) -> List[Tuple[float, float]]:
-        net = self.netlist.nets[net_name]
-        points: List[Tuple[float, float]] = []
-        if net.driver is not None:
-            points.append(self.grid.center_of(sites[net.driver[0]]))
-        if net_name in self.pads:
-            points.append(self.pads[net_name])
-        for sink_name, _pin in net.sinks:
-            points.append(self.grid.center_of(sites[sink_name]))
-        return points
-
-    def _net_cost(self, sites: Dict[str, Site], net_name: str) -> float:
-        weight = 1.0 + self.net_weights.get(net_name, 0.0)
-        return _net_bbox_cost(self._net_points(sites, net_name), weight)
-
-    def _build_box(self, sites: Dict[str, Site], net_name: str) -> _NetBox:
-        return _NetBox(self._net_points(sites, net_name))
-
-    def _rebuild_boxes(
-        self, sites: Dict[str, Site], net_cost: Dict[str, float]
-    ) -> float:
-        """Full recompute of every active net's box and cost; returns total."""
-        for net_name in self._active_nets:
-            box = self._build_box(sites, net_name)
-            self._boxes[net_name] = box
-            net_cost[net_name] = self._weight[net_name] * box.half_perimeter()
-        return sum(net_cost.values())
-
     # ------------------------------------------------------------------
     def place(self) -> Placement:
         sites = self._initial_sites()
         occupant: Dict[Site, Optional[str]] = {s: None for s in self.grid.sites()}
         for name, site in sites.items():
             occupant[site] = name
-        self._pos = {name: self.grid.center_of(site) for name, site in sites.items()}
-
-        net_cost = {name: 0.0 for name in self.netlist.nets}
-        total = self._rebuild_boxes(sites, net_cost)
+        engine = _ENGINES[self.engine_name](self, sites)
+        self._engine = engine
+        total = engine.rebuild()
 
         if not self._movable:
+            self.final_cost = total
             return Placement(grid=self.grid, sites=sites, pads=self.pads)
 
         n = len(self._movable)
@@ -261,9 +709,9 @@ class AnnealingPlacer:
         # Initial temperature: std-dev of cost over random perturbations.
         samples = []
         for _ in range(min(100, moves_per_t)):
-            delta, undo = self._try_move(sites, occupant, net_cost, self.grid.cols)
+            delta, applied = self._try_move(engine, sites, occupant, self.grid.cols)
             samples.append(abs(delta))
-            if undo is not None:
+            if applied:
                 total += delta
         temperature = 20.0 * (sum(samples) / max(1, len(samples)) or 1.0)
 
@@ -272,16 +720,16 @@ class AnnealingPlacer:
         while temperature > max(min_temperature, 1e-9):
             accepted = 0
             for _ in range(moves_per_t):
-                delta, undo = self._try_move(
-                    sites, occupant, net_cost, int(max(1, range_limit))
+                delta, applied = self._try_move(
+                    engine, sites, occupant, int(max(1, range_limit))
                 )
-                if undo is None:
+                if not applied:
                     continue
                 if delta <= 0 or self.rng.random() < math.exp(-delta / temperature):
                     total += delta
                     accepted += 1
                 else:
-                    undo()
+                    self._undo_move(engine, sites, occupant)
             ratio = accepted / max(1, moves_per_t)
             # VPR schedule.
             if ratio > 0.96:
@@ -294,25 +742,25 @@ class AnnealingPlacer:
                 temperature *= 0.8
             range_limit = max(1.0, range_limit * (1.0 - 0.44 + ratio))
             # Periodic exact rebuild bounds float drift in the running total.
-            total = self._rebuild_boxes(sites, net_cost)
+            total = engine.rebuild()
             if ratio < 0.01 and temperature < min_temperature * 10:
                 break
 
+        self.final_cost = total
         return Placement(grid=self.grid, sites=sites, pads=self.pads)
 
     # ------------------------------------------------------------------
     def _try_move(
         self,
+        engine,
         sites: Dict[str, Site],
         occupant: Dict[Site, Optional[str]],
-        net_cost: Dict[str, float],
         range_limit: int,
-    ):
-        """Propose one move; returns (delta, undo) — undo None if invalid.
+    ) -> Tuple[float, bool]:
+        """Propose one move; returns (delta, applied).
 
-        The move is applied optimistically; call ``undo()`` to reject.
-        Only nets touching the moved instance(s) are updated, each in
-        O(1) via its cached bounding box.
+        The move is applied optimistically — sites/occupancy here, cost
+        state inside the engine; call :meth:`_undo_move` to reject.
         """
         mover = self._movable[self.rng.randrange(len(self._movable))]
         old_site = sites[mover]
@@ -320,61 +768,31 @@ class AnnealingPlacer:
         row = old_site[1] + self.rng.randint(-range_limit, range_limit)
         new_site = self.grid.clamp(col, row)
         if new_site == old_site:
-            return 0.0, None
+            return 0.0, False
         other = occupant[new_site]
         if other is not None and other in self.locked:
-            return 0.0, None
-
-        pos = self._pos
-        old_pt = pos[mover]
-        new_pt = self.grid.center_of(new_site)
+            return 0.0, False
 
         sites[mover] = new_site
         occupant[new_site] = mover
         occupant[old_site] = other
-        pos[mover] = new_pt
         if other is not None:
             sites[other] = old_site
-            pos[other] = old_pt
+        self._last_move = (mover, other, old_site, new_site)
+        delta = engine.apply_move(mover, other, old_site, new_site)
+        return delta, True
 
-        # Point relocations per net, in deterministic contribution order.
-        changes: Dict[str, List[Tuple[Tuple[float, float], Tuple[float, float], int]]]
-        changes = {}
-        for net, count in self._contrib_of[mover]:
-            changes.setdefault(net, []).append((old_pt, new_pt, count))
+    def _undo_move(
+        self,
+        engine,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+    ) -> None:
+        mover, other, old_site, new_site = self._last_move
+        sites[mover] = old_site
+        occupant[old_site] = mover
+        occupant[new_site] = other
         if other is not None:
-            for net, count in self._contrib_of[other]:
-                changes.setdefault(net, []).append((new_pt, old_pt, count))
-
-        boxes = self._boxes
-        delta = 0.0
-        saved: List[Tuple[str, float, Tuple]] = []
-        for net, moves in changes.items():
-            box = boxes[net]
-            saved.append((net, net_cost[net], box.state()))
-            intact = True
-            for from_pt, to_pt, count in moves:
-                for _ in range(count):
-                    box.add(to_pt[0], to_pt[1])
-                    intact = box.remove(from_pt[0], from_pt[1]) and intact
-            if not intact:
-                box = self._build_box(sites, net)
-                boxes[net] = box
-            cost = self._weight[net] * box.half_perimeter()
-            delta += cost - net_cost[net]
-            net_cost[net] = cost
-
-        def undo():
-            sites[mover] = old_site
-            occupant[old_site] = mover
-            occupant[new_site] = other
-            pos[mover] = old_pt
-            if other is not None:
-                sites[other] = new_site
-                pos[other] = new_pt
-            for net, cost, state in saved:
-                net_cost[net] = cost
-                boxes[net].restore(state)
-
-        return delta, undo
+            sites[other] = new_site
+        engine.undo()
     # ------------------------------------------------------------------

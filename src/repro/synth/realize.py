@@ -102,10 +102,7 @@ class _Literal:
             return (kind, index)
         if index in inv_cache:
             return ("step", inv_cache[index])
-        inv = make_inv()
-        steps.append(
-            Step(inv.name, ~TruthTable.input_var(1, 0), ((kind, index),))
-        )
+        steps.append(Step("INV", _INV_CONFIG, ((kind, index),)))
         inv_cache[index] = len(steps) - 1
         return ("step", inv_cache[index])
 
@@ -123,6 +120,23 @@ _INV_AREA = make_inv().area
 _BUF_AREA = make_buf().area
 
 
+@lru_cache(maxsize=1)
+def _step_areas() -> Dict[str, float]:
+    """Area per realizable cell name (computed once; cells are fixed)."""
+    return {
+        "BUF": make_buf().area,
+        "INV": make_inv().area,
+        "ND2WI": make_nd2wi().area,
+        "ND3WI": make_nd3wi().area,
+        "MUX2": make_mux2().area,
+        "XOA": make_xoa().area,
+        "LUT3": make_lut3().area,
+    }
+
+
+_INV_CONFIG = ~TruthTable.input_var(1, 0)
+
+
 def _assemble(
     function: TruthTable,
     structure: str,
@@ -135,15 +149,7 @@ def _assemble(
     is a :class:`_Literal`, a ``("core", j)`` reference to an earlier core
     step, or ``("inv-core", j)`` for its complement.
     """
-    areas = {
-        "BUF": _BUF_AREA,
-        "INV": make_inv().area,
-        "ND2WI": make_nd2wi().area,
-        "ND3WI": make_nd3wi().area,
-        "MUX2": make_mux2().area,
-        "XOA": make_xoa().area,
-        "LUT3": make_lut3().area,
-    }
+    areas = _step_areas()
     steps: List[Step] = []
     inv_cache: Dict[int, int] = {}
     core_index: Dict[int, int] = {}
@@ -454,18 +460,36 @@ def _resolve_cells(arch) -> frozenset:
     return frozenset(arch.cell_names()) & REALIZABLE_CELLS
 
 
-@lru_cache(maxsize=None)
-def table_for_cells(
+#: Bump whenever table construction changes in a way that alters entries;
+#: it keys the persisted tables, so stale on-disk copies are never reused.
+TABLE_BUILDER_VERSION = 1
+
+
+def _library_fingerprint(cells: frozenset) -> Tuple:
+    """Stable description of every cell a table can instantiate.
+
+    Persisted tables are keyed on this (plus the builder version), so any
+    change to a cell's area, pins, or feasible-function set invalidates
+    them — the on-disk table can go stale only if the *builder code*
+    changes without a version bump.
+    """
+    from ..cells.celltypes import standard_cells
+
+    library = standard_cells()
+    out = []
+    for name in sorted(cells | {"INV", "BUF"}):
+        cell = library[name]
+        feasible = tuple(sorted(
+            (t.n_inputs, t.mask) for t in (cell.feasible or ())
+        ))
+        out.append((cell.name, cell.pins, cell.area, feasible))
+    return tuple(out)
+
+
+def _build_table(
     cells: frozenset, composite: bool
 ) -> Dict[Tuple[int, int], Realization]:
-    """Realization table for an arbitrary component-cell set.
-
-    ``composite=False`` gives the conventional-mapper (baseline) subset;
-    ``composite=True`` adds the paper's compaction structures (NDMX /
-    XOAMX / XOANDMX where the required muxes exist, whole-function LUT3
-    collapse where a LUT exists).  This generalization lets the full flow
-    run on *custom* PLB architectures — the paper's proposed future work.
-    """
+    """Forward-enumerate every structure family available to ``cells``."""
     builder = _TableBuilder()
     _offer_inv_buf(builder)
     if "ND2WI" in cells:
@@ -490,6 +514,46 @@ def table_for_cells(
         if "MUX2" in cells and "ND3WI" in cells:
             _offer_xoandmx(builder, inner_cell=inner_mux)
     return dict(builder.table)
+
+
+@lru_cache(maxsize=None)
+def table_for_cells(
+    cells: frozenset, composite: bool
+) -> Dict[Tuple[int, int], Realization]:
+    """Realization table for an arbitrary component-cell set.
+
+    ``composite=False`` gives the conventional-mapper (baseline) subset;
+    ``composite=True`` adds the paper's compaction structures (NDMX /
+    XOAMX / XOANDMX where the required muxes exist, whole-function LUT3
+    collapse where a LUT exists).  This generalization lets the full flow
+    run on *custom* PLB architectures — the paper's proposed future work.
+
+    Tables are deterministic functions of the cell set and the component
+    cells' definitions, so beyond the in-process ``lru_cache`` they are
+    *persisted* through the content-addressed stage cache
+    (:mod:`repro.flow.cache`): a warm run — or a fresh
+    ``ProcessPoolExecutor`` worker — unpickles the finished table instead
+    of re-deriving its ~27k structure enumerations.  Keyed on the library
+    fingerprint plus :data:`TABLE_BUILDER_VERSION`; honors
+    ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` like every other stage.
+    """
+    # Deferred import: repro.flow's package init pulls in the synthesis
+    # stack (including this module), so a top-level import would cycle.
+    from ..flow.cache import StageCache
+
+    store = StageCache()
+    key = store.key(
+        "realize_table",
+        TABLE_BUILDER_VERSION,
+        sorted(cells),
+        bool(composite),
+        _library_fingerprint(cells),
+    )
+    table = store.get("realize_table", key)
+    if table is None:
+        table = _build_table(cells, composite)
+        store.put("realize_table", key, table)
+    return table
 
 
 def baseline_table(arch) -> Dict[Tuple[int, int], Realization]:
