@@ -277,10 +277,45 @@ def _time_smoke_cell() -> float:
         return time.perf_counter() - start
 
 
+def _traced_smoke_report(repeats: int = 3) -> None:
+    """Record a traced smoke journal and print per-stage percentiles.
+
+    Runs the smoke cell ``repeats`` times (first cold, rest warm-cache)
+    under one trace session, finalizes a single journal — written to the
+    journal dir (``results/journals/`` by default) so CI can upload it —
+    and summarizes the ``stage.seconds.*`` histograms from the journal
+    itself, exercising the full record -> write -> read -> export path.
+    """
+    from repro.obs import core as obs_core
+    from repro.obs import export as obs_export
+    from repro.obs import journal as obs_journal
+
+    design, arch = SMOKE_CELL
+    netlist = build_design(design, scale=SMOKE_SCALE)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        obs_core.begin(label="smoke-bench", repeats=repeats)
+        for _ in range(repeats):
+            run_design(netlist, arch, PERF_OPTIONS)
+        path = obs_journal.finalize("smoke-bench")
+    events = obs_journal.read_journal(path)
+    histograms = obs_export.merge_histograms(events)
+    print(f"\ntraced journal ({repeats} runs, 1 cold): {path}")
+    print(f"{'stage':24s} {'count':>5s} {'p50 (s)':>9s} {'p95 (s)':>9s}")
+    for name in sorted(histograms):
+        if not name.startswith("stage.seconds."):
+            continue
+        hist = histograms[name]
+        stage = name[len("stage.seconds."):]
+        print(f"{stage:24s} {hist.count:5d} "
+              f"{hist.percentile(50):9.3f} {hist.percentile(95):9.3f}")
+
+
 def run_smoke(record: bool) -> int:
     design, arch = SMOKE_CELL
     elapsed = _time_smoke_cell()
     print(f"cold {design}/{arch} cell (scale {SMOKE_SCALE}): {elapsed:.2f} s")
+    _traced_smoke_report()
     if record:
         BASELINE_PATH.write_text(json.dumps({
             "design": design,

@@ -4,8 +4,10 @@ Commands
 --------
 ``analyze``
     Print the Section-2 function analysis (Figure 2/3, config coverage).
-``flow DESIGN``
+``flow DESIGN`` / ``run DESIGN``
     Run one benchmark design through both flows on one architecture.
+    ``--json`` emits a machine-readable run summary; ``--trace`` records
+    a run journal (see :mod:`repro.obs`).
 ``tables``
     Regenerate the paper's Tables 1 and 2 (plus the compaction summary).
 ``explore``
@@ -15,27 +17,67 @@ Commands
 ``profile``
     cProfile one (design, arch) flow cell and print the hottest
     functions — the quickest way to see where a flow run spends time.
+``trace [JOURNAL]``
+    Render a journal's span tree; ``--chrome`` also writes Chrome
+    ``chrome://tracing`` trace-event JSON.
+``stats [JOURNAL]``
+    Print a journal's metric summaries (counters, gauges, histogram
+    percentiles); ``--prometheus`` emits Prometheus exposition text.
+
+All human narration goes through a shared :class:`Reporter`; the global
+``--quiet`` flag silences progress text and ``--json`` mode guarantees
+stdout carries nothing but the JSON payload — machine output is never
+interleaved with human text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+DESIGN_CHOICES = ["alu", "fpu", "netswitch", "firewire"]
 
-def _cmd_analyze(_args: argparse.Namespace) -> int:
+
+class Reporter:
+    """Routes CLI output so machine payloads stay clean.
+
+    ``info`` is progress narration (silenced by ``--quiet`` and in JSON
+    mode), ``out`` is the primary human-readable result (silenced in
+    JSON mode, where the payload replaces it), and ``payload`` prints
+    exactly one JSON document to stdout.
+    """
+
+    def __init__(self, quiet: bool = False, json_mode: bool = False):
+        self.quiet = quiet
+        self.json_mode = json_mode
+
+    def info(self, text: str = "") -> None:
+        if not self.quiet and not self.json_mode:
+            print(text)
+
+    def out(self, text: str = "") -> None:
+        if not self.json_mode:
+            print(text)
+
+    def payload(self, obj) -> None:
+        print(json.dumps(obj, indent=2, sort_keys=True, default=str))
+
+
+def _cmd_analyze(_args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.configs import coverage_summary
     from .flow.experiments import run_figure2
 
-    print(run_figure2().format())
-    print("\nGranular configuration coverage (Section 2.3):")
+    reporter.out(run_figure2().format())
+    reporter.out("\nGranular configuration coverage (Section 2.3):")
     for name, count in coverage_summary().items():
-        print(f"  {name:8s} {count:3d} / 256")
+        reporter.out(f"  {name:8s} {count:3d} / 256")
     return 0
 
 
-def _cmd_flow(args: argparse.Namespace) -> int:
+def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
     from .flow.experiments import build_design
     from .flow.flow import run_design
     from .flow.options import FlowOptions
@@ -43,26 +85,32 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     options = FlowOptions(
         arch=args.arch, seed=args.seed, place_effort=args.effort,
         jobs=args.jobs, use_cache=not args.no_cache,
+        observe=args.trace,
     )
     netlist = build_design(args.design, scale=args.scale)
-    print(f"Running {args.design} (scale {args.scale}) on the "
-          f"{args.arch} architecture...")
+    reporter.info(f"Running {args.design} (scale {args.scale}) on the "
+                  f"{args.arch} architecture...")
     run = run_design(netlist, args.arch, options)
-    st = run.synthesis.stats
-    print(f"  mapped: {st.n_instances} instances "
-          f"({st.nand2_equivalents:.0f} NAND2-eq), "
-          f"compaction {run.synthesis.compaction.reduction:.1%}")
-    print(f"  flow a: die {run.flow_a.die_area:8.0f} um^2, "
-          f"avg slack {run.flow_a.average_slack:7.3f} ns")
-    print(f"  flow b: die {run.flow_b.die_area:8.0f} um^2, "
-          f"avg slack {run.flow_b.average_slack:7.3f} ns, "
-          f"{run.flow_b.plbs_used} PLBs "
-          f"({run.flow_b.array_side} per side)")
-    print(run.performance_report())
+    if args.json:
+        reporter.payload(run.summary())
+    else:
+        st = run.synthesis.stats
+        reporter.out(f"  mapped: {st.n_instances} instances "
+                     f"({st.nand2_equivalents:.0f} NAND2-eq), "
+                     f"compaction {run.synthesis.compaction.reduction:.1%}")
+        reporter.out(f"  flow a: die {run.flow_a.die_area:8.0f} um^2, "
+                     f"avg slack {run.flow_a.average_slack:7.3f} ns")
+        reporter.out(f"  flow b: die {run.flow_b.die_area:8.0f} um^2, "
+                     f"avg slack {run.flow_b.average_slack:7.3f} ns, "
+                     f"{run.flow_b.plbs_used} PLBs "
+                     f"({run.flow_b.array_side} per side)")
+        reporter.out(run.performance_report())
+    if run.journal_path is not None:
+        reporter.info(f"journal: {run.journal_path}")
     return 0
 
 
-def _cmd_tables(args: argparse.Namespace) -> int:
+def _cmd_tables(args: argparse.Namespace, reporter: Reporter) -> int:
     from .flow.experiments import (
         default_options,
         run_compaction_summary,
@@ -70,31 +118,37 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         run_table1,
         run_table2,
     )
+    from .obs import journal as obs_journal
 
     from dataclasses import replace
 
     options = replace(
-        default_options(), jobs=args.jobs, use_cache=not args.no_cache
+        default_options(), jobs=args.jobs, use_cache=not args.no_cache,
+        observe=args.trace,
     )
     matrix = run_matrix(options, scale=args.scale, jobs=args.jobs)
-    print(run_table1(matrix).format())
-    print()
-    print(run_table2(matrix).format())
-    print()
-    print(run_compaction_summary(matrix).format())
+    reporter.out(run_table1(matrix).format())
+    reporter.out()
+    reporter.out(run_table2(matrix).format())
+    reporter.out()
+    reporter.out(run_compaction_summary(matrix).format())
     if args.timings:
-        print()
-        print(matrix.performance_report())
+        reporter.out()
+        reporter.out(matrix.performance_report())
+    if obs_journal.last_journal() is not None:
+        reporter.info(f"journal: {obs_journal.last_journal()}")
     return 0
 
 
-def _cmd_explore(_args: argparse.Namespace) -> int:
+def _cmd_explore(_args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.explorer import GranularityExplorer, paper_candidates
 
     explorer = GranularityExplorer()
-    print(f"{'candidate':16s} {'area':>7s} {'no-LUT':>7s} {'FA':>5s} {'score':>8s}")
+    reporter.out(
+        f"{'candidate':16s} {'area':>7s} {'no-LUT':>7s} {'FA':>5s} {'score':>8s}"
+    )
     for candidate, metrics, score in explorer.rank(paper_candidates()):
-        print(
+        reporter.out(
             f"{metrics.name:16s} {metrics.total_area:7.1f} "
             f"{metrics.lut_free_coverage:7d} "
             f"{str(metrics.full_adder_in_one_plb):>5s} {score:8.2f}"
@@ -102,21 +156,24 @@ def _cmd_explore(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_vias(_args: argparse.Namespace) -> int:
+def _cmd_vias(_args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.vias import granularity_cost_comparison
 
-    print("Via-programmability cost per PLB (paper Section 1's argument):")
+    reporter.out("Via-programmability cost per PLB (paper Section 1's argument):")
     for name, stats in granularity_cost_comparison().items():
-        print(f"  {name}:")
-        print(f"    potential via sites:   {stats['potential_sites']:8.0f}")
-        print(f"    via-site silicon area: {stats['via_site_area_um2']:8.1f} um^2 "
-              f"({stats['site_area_fraction']:.1%} of the PLB)")
-        print(f"    SRAM-bit equivalent:   {stats['sram_equivalent_area_um2']:8.1f} um^2 "
-              f"({stats['sram_area_fraction']:.1f}x the PLB itself)")
+        reporter.out(f"  {name}:")
+        reporter.out(
+            f"    potential via sites:   {stats['potential_sites']:8.0f}")
+        reporter.out(
+            f"    via-site silicon area: {stats['via_site_area_um2']:8.1f} um^2 "
+            f"({stats['site_area_fraction']:.1%} of the PLB)")
+        reporter.out(
+            f"    SRAM-bit equivalent:   {stats['sram_equivalent_area_um2']:8.1f} um^2 "
+            f"({stats['sram_area_fraction']:.1f}x the PLB itself)")
     return 0
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
+def _cmd_profile(args: argparse.Namespace, reporter: Reporter) -> int:
     import cProfile
     import pstats
 
@@ -133,8 +190,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     # a warm stage cache can't hide the kernels being measured.
     cache = StageCache() if args.cache else NullCache()
     netlist = build_design(args.design, scale=args.scale)
-    print(f"Profiling {args.design} (scale {args.scale}) on the "
-          f"{args.arch} architecture (cache {'on' if args.cache else 'off'})...")
+    reporter.info(f"Profiling {args.design} (scale {args.scale}) on the "
+                  f"{args.arch} architecture (cache {'on' if args.cache else 'off'})...")
     profiler = cProfile.Profile()
     profiler.enable()
     run_design(netlist, args.arch, options, cache=cache)
@@ -144,18 +201,61 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduction of 'Exploring Logic Block Granularity "
-                    "for Regular Fabrics' (DATE 2004)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def _resolve_journal(args: argparse.Namespace, reporter: Reporter):
+    from .obs import journal as obs_journal
 
-    sub.add_parser("analyze", help="Section-2 function analysis")
+    if args.journal:
+        path = Path(args.journal)
+        if not path.exists():
+            print(f"no journal at {path}", file=sys.stderr)
+            return None
+        return path
+    path = obs_journal.latest_journal()
+    if path is None:
+        print(
+            f"no journals under {obs_journal.journal_dir()} — record one "
+            "with `repro run <design> --trace` (or REPRO_TRACE=1)",
+            file=sys.stderr,
+        )
+    return path
 
-    flow = sub.add_parser("flow", help="run one design through the flow")
-    flow.add_argument("design", choices=["alu", "fpu", "netswitch", "firewire"])
+
+def _cmd_trace(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .obs import export, journal as obs_journal
+
+    path = _resolve_journal(args, reporter)
+    if path is None:
+        return 1
+    events = obs_journal.read_journal(path)
+    reporter.info(f"journal: {path}")
+    if args.chrome:
+        doc = export.chrome_trace(events)
+        Path(args.chrome).write_text(json.dumps(doc), encoding="utf-8")
+        reporter.info(
+            f"chrome trace written to {args.chrome} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    reporter.out(export.format_span_tree(events, max_depth=args.depth))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .obs import export, journal as obs_journal
+
+    path = _resolve_journal(args, reporter)
+    if path is None:
+        return 1
+    events = obs_journal.read_journal(path)
+    reporter.info(f"journal: {path}")
+    if args.prometheus:
+        reporter.out(export.prometheus_text(events))
+    else:
+        reporter.out(export.format_stats(events))
+    return 0
+
+
+def _add_flow_arguments(flow: argparse.ArgumentParser) -> None:
+    flow.add_argument("design", choices=DESIGN_CHOICES)
     flow.add_argument("--arch", choices=["lut", "granular"], default="granular")
     flow.add_argument("--scale", type=float, default=0.5)
     flow.add_argument("--seed", type=int, default=0)
@@ -165,6 +265,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for matrix fan-out (1 = serial)")
     flow.add_argument("--no-cache", action="store_true",
                       help="bypass the content-addressed stage cache")
+    flow.add_argument("--trace", action="store_true",
+                      help="record a run journal (spans, metrics, cache "
+                           "events) under results/journals/")
+    flow.add_argument("--json", action="store_true",
+                      help="emit a machine-readable run summary on stdout")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploring Logic Block Granularity "
+                    "for Regular Fabrics' (DATE 2004)",
+    )
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress narration (results only)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("analyze", help="Section-2 function analysis")
+
+    flow = sub.add_parser("flow", help="run one design through the flow")
+    _add_flow_arguments(flow)
+    run = sub.add_parser(
+        "run", help="alias of `flow`: run one design through the flow"
+    )
+    _add_flow_arguments(run)
 
     tables = sub.add_parser("tables", help="regenerate Tables 1 and 2")
     tables.add_argument("--scale", type=float, default=0.5)
@@ -175,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bypass the content-addressed stage cache")
     tables.add_argument("--timings", action="store_true",
                         help="print per-stage wall times and cache stats")
+    tables.add_argument("--trace", action="store_true",
+                        help="record one merged run journal for the matrix")
 
     sub.add_parser("explore", help="rank candidate PLB architectures")
     sub.add_parser("vias", help="via-programmability cost comparison")
@@ -182,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile", help="cProfile one (design, arch) flow cell"
     )
-    profile.add_argument("design", choices=["alu", "fpu", "netswitch", "firewire"])
+    profile.add_argument("design", choices=DESIGN_CHOICES)
     profile.add_argument("--arch", choices=["lut", "granular"], default="granular")
     profile.add_argument("--scale", type=float, default=0.4)
     profile.add_argument("--seed", type=int, default=0)
@@ -196,20 +323,46 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cache", action="store_true",
                          help="profile with the stage cache enabled "
                               "(default runs every stage cold)")
+
+    trace = sub.add_parser(
+        "trace", help="render a run journal's span tree / Chrome trace"
+    )
+    trace.add_argument("journal", nargs="?", default=None,
+                       help="journal path (default: latest in "
+                            "results/journals/)")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="also write Chrome trace-event JSON to PATH")
+    trace.add_argument("--depth", type=int, default=None,
+                       help="limit the rendered span-tree depth")
+
+    stats = sub.add_parser(
+        "stats", help="print a run journal's metric summaries"
+    )
+    stats.add_argument("journal", nargs="?", default=None,
+                       help="journal path (default: latest in "
+                            "results/journals/)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="emit Prometheus exposition text instead")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    reporter = Reporter(
+        quiet=args.quiet, json_mode=bool(getattr(args, "json", False))
+    )
     handlers = {
         "analyze": _cmd_analyze,
         "flow": _cmd_flow,
+        "run": _cmd_flow,
         "tables": _cmd_tables,
         "explore": _cmd_explore,
         "vias": _cmd_vias,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
     }
-    return handlers[args.command](args)
+    return handlers[args.command](args, reporter)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..netlist.core import Netlist
+from ..obs import core as _obs
 
 #: Bump to invalidate all existing cache entries on format changes.
 CACHE_FORMAT_VERSION = 1
@@ -129,6 +130,8 @@ class StageCache:
             raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            _obs.counter("cache.miss")
+            _obs.point("cache", stage=stage, outcome="miss")
             return None
         digest, sep, payload = raw.partition(b"\n")
         ok = bool(sep) and hashlib.sha256(payload).hexdigest().encode() == digest
@@ -140,6 +143,9 @@ class StageCache:
         if not ok:
             self.stats.corrupt += 1
             self.stats.misses += 1
+            _obs.counter("cache.corrupt")
+            _obs.counter("cache.miss")
+            _obs.point("cache", stage=stage, outcome="corrupt", bytes=len(raw))
             try:
                 path.unlink()
             except OSError:
@@ -147,6 +153,8 @@ class StageCache:
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(raw)
+        _obs.counter("cache.hit")
+        _obs.point("cache", stage=stage, outcome="hit", bytes=len(raw))
         return result
 
     def put(self, stage: str, key: str, value: Any) -> None:
@@ -168,6 +176,8 @@ class StageCache:
         except OSError:
             return  # a read-only or full cache dir silently degrades to no-op
         self.stats.bytes_written += len(blob)
+        _obs.counter("cache.write")
+        _obs.counter("cache.bytes_written", len(blob))
 
 
 class NullCache(StageCache):

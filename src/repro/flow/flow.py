@@ -30,9 +30,12 @@ import math
 import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..cells.characterize import TimingLibrary, characterize_library
+from ..obs import core as _obs
+from ..obs import journal as _journal
 from ..cells.library import Library
 from ..core.plb import PLBArchitecture, granular_plb, lut_plb
 from ..netlist.core import Netlist
@@ -133,10 +136,62 @@ class DesignRun:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_cached: Dict[str, bool] = field(default_factory=dict)
     cache_stats: Optional[CacheStats] = None
+    journal_path: Optional[Path] = None
 
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    def summary(self) -> Dict:
+        """A machine-readable run summary (``repro run --json``).
+
+        Everything scripts used to scrape from stdout: areas, slacks,
+        per-stage seconds, cache events, and the journal path when the
+        run was traced.
+        """
+        def flow_summary(result: FlowResult) -> Dict:
+            out = {
+                "die_area_um2": result.die_area,
+                "average_slack_ns": result.average_slack,
+                "worst_slack_ns": result.worst_slack,
+                "instances": result.netlist_stats.n_instances,
+                "nand2_equivalents": result.netlist_stats.nand2_equivalents,
+                "routing_iterations": result.routing.iterations,
+                "routing_overused_edges": result.routing.overused_edges,
+                "total_wirelength_um": result.routing.total_wirelength(),
+            }
+            if result.flow == "b":
+                out["plbs_used"] = result.plbs_used
+                out["array_side"] = result.array_side
+                out["packing_displacement"] = result.packing_displacement
+            return out
+
+        cache = None
+        if self.cache_stats is not None:
+            cache = {
+                "hits": self.cache_stats.hits,
+                "misses": self.cache_stats.misses,
+                "corrupt": self.cache_stats.corrupt,
+                "bytes_read": self.cache_stats.bytes_read,
+                "bytes_written": self.cache_stats.bytes_written,
+            }
+        return {
+            "design": self.design,
+            "arch": self.arch_name,
+            "synthesis": {
+                "instances": self.synthesis.stats.n_instances,
+                "nand2_equivalents": self.synthesis.stats.nand2_equivalents,
+                "total_area_um2": self.synthesis.stats.total_area,
+                "compaction_reduction": self.synthesis.compaction.reduction,
+            },
+            "flow_a": flow_summary(self.flow_a),
+            "flow_b": flow_summary(self.flow_b),
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_cached": dict(self.stage_cached),
+            "total_seconds": self.total_seconds,
+            "cache": cache,
+            "journal": str(self.journal_path) if self.journal_path else None,
+        }
 
     def performance_report(self) -> str:
         """Per-stage wall time and cache events, one line per stage."""
@@ -160,17 +215,21 @@ def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
         sys.setrecursionlimit(_RECURSION_LIMIT)
     arch = architecture_of(options.arch)
     library = arch.library
-    core = extract_core(netlist)
-    core = CombCore(
-        aig=optimize(core.aig, effort=options.opt_effort),
-        primary_inputs=core.primary_inputs,
-        primary_outputs=core.primary_outputs,
-        dffs=core.dffs,
-    )
-    mapped = map_core(core, options.arch, library)
+    with _obs.span("synth.extract"):
+        core = extract_core(netlist)
+    with _obs.span("synth.optimize", effort=options.opt_effort):
+        core = CombCore(
+            aig=optimize(core.aig, effort=options.opt_effort),
+            primary_inputs=core.primary_inputs,
+            primary_outputs=core.primary_outputs,
+            dffs=core.dffs,
+        )
+    with _obs.span("synth.map", arch=options.arch):
+        mapped = map_core(core, options.arch, library)
     pre_stats = gather(mapped)
     if options.run_compaction:
-        mapped, report = compact_to_fixpoint(mapped, options.arch, library)
+        with _obs.span("synth.compact", arch=options.arch):
+            mapped, report = compact_to_fixpoint(mapped, options.arch, library)
     else:
         area = pre_stats.total_area
         report = CompactionReport(
@@ -346,56 +405,76 @@ def run_design(
         arch = arch.name
     options = (options or FlowOptions()).with_arch(arch)
     cache = cache if cache is not None else _cache_for(options)
+    # Tracing: activate when requested; whoever activates owns the trace
+    # and writes the journal at the end.  Inside a traced run_cells (or a
+    # pool worker's per-cell trace) begin() returns False and this run
+    # only records into the ambient trace.
+    observing = options.observe or _obs.env_requested()
+    own_trace = _obs.begin() if observing else False
     seconds: Dict[str, float] = {}
     cached: Dict[str, bool] = {}
 
     def staged(stage, key, compute):
         start = time.perf_counter()
-        result = cache.get(stage, key)
-        cached[stage] = result is not None
-        if result is None:
-            result = compute()
-            cache.put(stage, key, result)
-        seconds[stage] = time.perf_counter() - start
+        with _obs.span(f"flow.{stage}", stage=stage) as sp:
+            result = cache.get(stage, key)
+            hit = result is not None
+            if not hit:
+                result = compute()
+                cache.put(stage, key, result)
+            sp.set(cached=hit)
+        elapsed = time.perf_counter() - start
+        cached[stage] = hit
+        seconds[stage] = elapsed
+        _obs.observe(f"stage.seconds.{stage}", elapsed)
         return result
 
     arch_repr = repr(architecture_of(arch))
-    k_synth = cache.key(
-        "synthesis", canonical_netlist(netlist), arch_repr,
-        options.opt_effort, options.run_compaction,
-    )
-    synthesis = staged("synthesis", k_synth, lambda: synthesize(netlist, options))
+    with _obs.span(
+        "run_design", design=netlist.name, arch=arch, seed=options.seed
+    ):
+        k_synth = cache.key(
+            "synthesis", canonical_netlist(netlist), arch_repr,
+            options.opt_effort, options.run_compaction,
+        )
+        synthesis = staged(
+            "synthesis", k_synth, lambda: synthesize(netlist, options)
+        )
 
-    k_phys = cache.key(
-        "physical", k_synth, options.seed, options.place_iterations,
-        options.place_effort, options.period,
-    )
-    physical = staged("physical", k_phys, lambda: _run_physical(synthesis, options))
+        k_phys = cache.key(
+            "physical", k_synth, options.seed, options.place_iterations,
+            options.place_effort, options.period,
+        )
+        physical = staged(
+            "physical", k_phys, lambda: _run_physical(synthesis, options)
+        )
 
-    k_route_a = cache.key(
-        "route_a", k_phys, options.routing_tracks,
-        options.routing_bins_per_side, options.period,
-    )
-    flow_a = staged(
-        "route_a", k_route_a, lambda: _flow_a_result(synthesis, physical, options)
-    )
+        k_route_a = cache.key(
+            "route_a", k_phys, options.routing_tracks,
+            options.routing_bins_per_side, options.period,
+        )
+        flow_a = staged(
+            "route_a", k_route_a,
+            lambda: _flow_a_result(synthesis, physical, options),
+        )
 
-    k_pack = cache.key(
-        "packing", k_phys, options.pack_iterations, options.pack_headroom,
-        options.period,
-    )
-    packed = staged(
-        "packing", k_pack, lambda: _pack_stage(synthesis, physical, options)
-    )
+        k_pack = cache.key(
+            "packing", k_phys, options.pack_iterations, options.pack_headroom,
+            options.period,
+        )
+        packed = staged(
+            "packing", k_pack, lambda: _pack_stage(synthesis, physical, options)
+        )
 
-    k_route_b = cache.key(
-        "route_b", k_pack, options.routing_tracks, options.period
-    )
-    flow_b = staged(
-        "route_b", k_route_b, lambda: _flow_b_result(synthesis, packed, options)
-    )
+        k_route_b = cache.key(
+            "route_b", k_pack, options.routing_tracks, options.period
+        )
+        flow_b = staged(
+            "route_b", k_route_b,
+            lambda: _flow_b_result(synthesis, packed, options),
+        )
 
-    return DesignRun(
+    run = DesignRun(
         design=netlist.name,
         arch_name=arch,
         synthesis=synthesis,
@@ -406,3 +485,6 @@ def run_design(
         stage_cached=cached,
         cache_stats=cache.stats,
     )
+    if own_trace:
+        run.journal_path = _journal.finalize(f"{netlist.name}-{arch}")
+    return run

@@ -22,6 +22,13 @@ class FlowOptions:
     for any worker count because every stage is deterministic per seed.
     ``use_cache`` enables the content-addressed stage cache (see
     :mod:`repro.flow.cache`); neither knob affects computed results.
+
+    ``observe`` turns on the :mod:`repro.obs` tracing subsystem for the
+    run: spans, metrics, and cache events are recorded and written to a
+    JSONL journal (also enabled by ``--trace`` / ``REPRO_TRACE``).  Like
+    the performance knobs it never changes computed results — traced and
+    untraced runs are bit-identical — and it is excluded from stage
+    cache keys.
     """
 
     arch: str = "granular"
@@ -38,6 +45,7 @@ class FlowOptions:
     routing_bins_per_side: int = 12
     jobs: int = 1
     use_cache: bool = True
+    observe: bool = False
 
     def with_arch(self, arch: str) -> "FlowOptions":
         from dataclasses import replace

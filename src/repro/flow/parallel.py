@@ -11,32 +11,53 @@ never depends on which worker (or how many) executed it.
 Workers also share the content-addressed stage cache
 (:mod:`repro.flow.cache`): entries are written atomically, so concurrent
 workers can populate and reuse it safely.
+
+When observation is on (``FlowOptions.observe`` / ``REPRO_TRACE``), each
+worker records its own per-cell trace and ships the raw event list back
+to the parent alongside the :class:`DesignRun` — the existing pool
+result plumbing, no extra channels — where the fragments merge, in cell
+order, into one coherent journal for the whole matrix.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import core as _obs
+from ..obs import journal as _journal
 from .flow import DesignRun
 from .options import FlowOptions
 
 
+def _observing(options: FlowOptions) -> bool:
+    return options.observe or _obs.env_requested()
+
+
 def _run_cell(
     cell: Tuple[str, str], scale: float, options: FlowOptions
-) -> Tuple[Tuple[str, str], DesignRun]:
+) -> Tuple[Tuple[str, str], DesignRun, Optional[List[dict]]]:
     """Worker body: build one design and run both flows on one arch.
 
     Imports are deferred so the module stays importable without pulling
     the whole flow in (and so forked workers resolve them lazily).
+
+    In a pool worker with observation on, this call owns the process's
+    trace: the third tuple element carries the drained event list back
+    to the parent.  Called in-process under an already-active parent
+    trace, events land in the parent buffer directly and the third
+    element is None.
     """
     from .experiments import build_design
     from .flow import run_design
 
+    own_trace = _observing(options) and _obs.begin()
     design, arch = cell
     netlist = build_design(design, scale)
-    return cell, run_design(netlist, arch, options)
+    run = run_design(netlist, arch, options)
+    events = _obs.drain() if own_trace else None
+    return cell, run, events
 
 
 def _warm_worker(arch_names: Tuple[str, ...]) -> None:
@@ -79,19 +100,33 @@ def run_cells(
     The result dict is keyed by cell in the order given, regardless of
     worker completion order, so downstream table formatting is identical
     for any job count.
+
+    With observation on, the whole matrix produces *one* merged journal:
+    worker event fragments are absorbed in cell order (deterministic for
+    any worker count) and written by the parent at the end.
     """
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        return {cell: _run_cell(cell, scale, options)[1] for cell in cells}
+    own_trace = _observing(options) and _obs.begin()
     runs: Dict[Tuple[str, str], DesignRun] = {}
-    arch_names = tuple(dict.fromkeys(arch for _design, arch in cells))
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)),
-        initializer=_warm_worker,
-        initargs=(arch_names,),
-    ) as pool:
-        for cell, run in pool.map(
-            _run_cell, cells, [scale] * len(cells), [options] * len(cells)
-        ):
-            runs[cell] = run
+    if jobs <= 1 or len(cells) <= 1:
+        with _obs.span("run_cells", cells=len(cells), jobs=1):
+            for cell in cells:
+                runs[cell] = _run_cell(cell, scale, options)[1]
+    else:
+        arch_names = tuple(dict.fromkeys(arch for _design, arch in cells))
+        with _obs.span("run_cells", cells=len(cells), jobs=jobs):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(cells)),
+                initializer=_warm_worker,
+                initargs=(arch_names,),
+            ) as pool:
+                for cell, run, events in pool.map(
+                    _run_cell, cells, [scale] * len(cells),
+                    [options] * len(cells),
+                ):
+                    runs[cell] = run
+                    if events:
+                        _obs.absorb(events)
+    if own_trace:
+        _journal.finalize(f"matrix-{len(cells)}cells")
     return {cell: runs[cell] for cell in cells}

@@ -1,0 +1,75 @@
+"""repro.obs — structured tracing, metrics, and run journals.
+
+The observability subsystem for the whole CAD flow:
+
+* :mod:`repro.obs.core` — the zero-dependency tracing core (nested
+  spans with monotonic timestamps, instantaneous points, and a
+  process-local metrics registry of counters / gauges / fixed-bucket
+  histograms).  Off by default with a no-op fast path; toggled via
+  ``FlowOptions.observe``, ``--trace``, or ``REPRO_TRACE``.
+* :mod:`repro.obs.journal` — JSONL run journals under
+  ``results/journals/`` (override: ``REPRO_JOURNAL_DIR``), including
+  the per-run environment fingerprint.  Parallel matrix runs merge
+  worker events into one coherent journal.
+* :mod:`repro.obs.export` — journal consumers: span-tree rendering,
+  Chrome ``chrome://tracing`` trace-event JSON, metric summaries with
+  histogram percentiles, and a Prometheus-style text dump.
+
+Observation never changes computed results: runs with tracing on and
+off are bit-identical (asserted by the test suite).
+"""
+
+from .core import (
+    NOOP_SPAN,
+    TRACE_ENV,
+    absorb,
+    active,
+    begin,
+    counter,
+    drain,
+    env_requested,
+    gauge,
+    observe,
+    point,
+    reset,
+    span,
+)
+from .journal import (
+    JOURNAL_DIR_ENV,
+    environment_fingerprint,
+    finalize,
+    journal_dir,
+    last_journal,
+    latest_journal,
+    read_journal,
+    write_journal,
+)
+from .metrics import DEFAULT_BUCKETS, RATIO_BUCKETS, Histogram, Metrics
+
+__all__ = [
+    "NOOP_SPAN",
+    "TRACE_ENV",
+    "JOURNAL_DIR_ENV",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "absorb",
+    "active",
+    "begin",
+    "counter",
+    "drain",
+    "env_requested",
+    "environment_fingerprint",
+    "finalize",
+    "gauge",
+    "journal_dir",
+    "last_journal",
+    "latest_journal",
+    "observe",
+    "point",
+    "read_journal",
+    "reset",
+    "span",
+    "write_journal",
+]

@@ -1,0 +1,258 @@
+"""Zero-dependency tracing core: nested spans, points, and metrics.
+
+Tracing is **off by default** and costs almost nothing while off: every
+entry point checks a single module global and returns a shared no-op
+object (``span``) or returns immediately (``point`` / ``counter`` /
+``gauge`` / ``observe``).  It is toggled per run via
+``FlowOptions.observe``, the ``--trace`` CLI flag, or the ``REPRO_TRACE``
+environment variable — and, by contract, never perturbs computed
+results: instrumentation only *reads* flow state, never touches any RNG
+or feeds timing back into an algorithm.
+
+Ownership model (single-process and ProcessPool-parallel runs share it):
+
+* :func:`begin` activates tracing in the current process and returns
+  ``True`` only for the outermost caller — that caller *owns* the trace
+  and is responsible for finalizing it (usually via
+  :func:`repro.obs.journal.finalize`, which writes the JSONL journal).
+* Nested layers (``run_design`` inside ``run_cells``, stages inside a
+  design run) call ``begin`` too; they get ``False`` and simply record.
+* Pool workers own their own per-cell trace: :func:`drain` deactivates
+  and returns the raw event list, which ships back to the parent over
+  the existing ProcessPool result plumbing and is folded into the
+  parent's buffer with :func:`absorb` — one coherent merged journal.
+* A forked worker inherits the parent's active tracer state; the state
+  carries its creating ``pid`` and is discarded on first touch from a
+  different process, so inherited parent events are never duplicated.
+
+Timestamps are monotonic within a process (``time.perf_counter``) and
+anchored to the wall clock at activation, so spans from different
+processes merge onto one coherent timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import Metrics
+
+#: Environment toggle: any value other than "" / "0" enables tracing.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def env_requested() -> bool:
+    """True when ``REPRO_TRACE`` asks for tracing."""
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _TraceState:
+    """Per-process tracer: event buffer, span stack, metrics registry."""
+
+    __slots__ = ("pid", "events", "stack", "wall0", "perf0", "metrics")
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.events: List[Dict] = []
+        self.stack: List[str] = []
+        self.wall0 = time.time()
+        self.perf0 = time.perf_counter()
+        self.metrics = Metrics()
+
+    def now(self) -> float:
+        """Monotonic seconds, anchored to the wall clock at activation."""
+        return self.wall0 + (time.perf_counter() - self.perf0)
+
+
+_STATE: Optional[_TraceState] = None
+
+#: Process-wide span-id counter.  Deliberately *not* part of
+#: ``_TraceState``: a worker process runs one trace per cell, and span
+#: ids must stay unique across those traces (they are merged into one
+#: journal), so the counter survives begin/drain cycles.  Forked
+#: children inherit the current value, but ids embed the pid, so no
+#: cross-process collision is possible.
+_NEXT_SID = 0
+
+
+def _next_sid() -> str:
+    global _NEXT_SID
+    _NEXT_SID += 1
+    return f"{os.getpid()}:{_NEXT_SID}"
+
+
+def _state() -> Optional[_TraceState]:
+    """The live tracer state, or None.
+
+    Discards state inherited across ``fork``: a pool worker starts with a
+    copy of the parent's active tracer, whose events belong to (and stay
+    in) the parent — the worker must begin its own trace.
+    """
+    global _STATE
+    s = _STATE
+    if s is not None and s.pid != os.getpid():
+        _STATE = None
+        return None
+    return s
+
+
+def active() -> bool:
+    return _state() is not None
+
+
+def reset() -> None:
+    """Hard-deactivate, dropping any buffered events (test isolation)."""
+    global _STATE
+    _STATE = None
+
+
+def begin(**meta: Any) -> bool:
+    """Activate tracing in this process.
+
+    Returns ``True`` if this call activated it (the caller owns the trace
+    and must :func:`drain` it or finalize a journal), ``False`` if a
+    tracer was already live (record-only mode for nested layers).
+    """
+    global _STATE
+    if _state() is not None:
+        return False
+    _STATE = _TraceState()
+    # Deferred import: journal imports this module at top level.
+    from .journal import environment_fingerprint
+
+    attrs: Dict[str, Any] = dict(environment_fingerprint())
+    attrs.update(meta)
+    _STATE.events.append(
+        {"ev": "meta", "pid": _STATE.pid, "ts": _STATE.now(), "attrs": attrs}
+    )
+    return True
+
+
+def drain() -> List[Dict]:
+    """Deactivate and return every event plus a final metrics snapshot.
+
+    Used by pool workers to ship their per-cell trace back to the parent
+    (and by :func:`repro.obs.journal.finalize` to collect the journal).
+    Returns ``[]`` when tracing was not active.
+    """
+    global _STATE
+    s = _state()
+    if s is None:
+        return []
+    _STATE = None
+    events = s.events
+    events.extend(s.metrics.snapshot_events(s.pid, s.now()))
+    return events
+
+
+def absorb(events: Sequence[Dict]) -> None:
+    """Fold events recorded elsewhere (a worker) into the live buffer."""
+    s = _state()
+    if s is not None:
+        s.events.extend(events)
+
+
+class Span:
+    """A live span: records one ``span`` event with duration on exit."""
+
+    __slots__ = ("name", "attrs", "sid", "parent", "start", "_st")
+
+    def __init__(self, st: _TraceState, name: str, attrs: Dict[str, Any]):
+        self._st = st
+        self.name = name
+        self.attrs = attrs
+        self.sid = ""
+        self.parent: Optional[str] = None
+        self.start = 0.0
+
+    def __enter__(self) -> "Span":
+        st = self._st
+        self.sid = _next_sid()
+        self.parent = st.stack[-1] if st.stack else None
+        st.stack.append(self.sid)
+        self.start = st.now()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        st = self._st
+        end = st.now()
+        if st.stack and st.stack[-1] == self.sid:
+            st.stack.pop()
+        event: Dict[str, Any] = {
+            "ev": "span", "name": self.name, "sid": self.sid, "pid": st.pid,
+            "ts": self.start, "dur": end - self.start,
+        }
+        if self.parent is not None:
+            event["parent"] = self.parent
+        if self.attrs:
+            event["attrs"] = self.attrs
+        st.events.append(event)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. cache hit/miss)."""
+        self.attrs.update(attrs)
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing a nested span (no-op while tracing is off)."""
+    st = _state()
+    if st is None:
+        return NOOP_SPAN
+    return Span(st, name, attrs)
+
+
+def point(name: str, **attrs: Any) -> None:
+    """Record an instantaneous event under the current span."""
+    st = _state()
+    if st is None:
+        return
+    event: Dict[str, Any] = {"ev": "point", "name": name, "pid": st.pid,
+                             "ts": st.now()}
+    if st.stack:
+        event["parent"] = st.stack[-1]
+    if attrs:
+        event["attrs"] = attrs
+    st.events.append(event)
+
+
+def counter(name: str, n: int = 1) -> None:
+    """Increment a named counter (no-op while tracing is off)."""
+    st = _state()
+    if st is not None:
+        st.metrics.counter(name).inc(n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a named gauge (no-op while tracing is off)."""
+    st = _state()
+    if st is not None:
+        st.metrics.gauge(name).set(value)
+
+
+def observe(
+    name: str, value: float, bounds: Optional[Sequence[float]] = None
+) -> None:
+    """Record a histogram observation (no-op while tracing is off)."""
+    st = _state()
+    if st is not None:
+        st.metrics.histogram(name, bounds).observe(value)

@@ -1,0 +1,196 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`Metrics` registry is owned by the tracer state in
+:mod:`repro.obs.core`; instrumented code never touches it directly but
+goes through ``obs.counter`` / ``obs.gauge`` / ``obs.observe``, which are
+no-ops while tracing is off.  At journal-finalize time the registry is
+snapshotted into plain JSON events, so readers (``repro stats``, the
+Prometheus dump, the benchmark percentile report) only ever deal with
+the serialized form — histograms can be merged across worker processes
+by summing bucket counts.
+
+Everything here is zero-dependency stdlib Python.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds-oriented, geometric).
+#: The final implicit bucket is +inf; exact min/max are tracked alongside
+#: so percentile estimates are clamped to observed values.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+
+#: Bucket bounds for ratio-valued observations (accept rates etc.).
+RATIO_BUCKETS: Tuple[float, ...] = tuple(i / 20.0 for i in range(1, 21))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max sidecars.
+
+    ``bounds`` are non-cumulative upper bounds; observations above the
+    last bound land in an implicit overflow bucket.  Percentiles are
+    estimated by linear interpolation inside the containing bucket and
+    clamped to the observed [min, max] range.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BUCKETS)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile (p in [0, 100])."""
+        if self.count == 0:
+            return 0.0
+        rank = (p / 100.0) * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max) if hi != float("inf") else self.max
+                if hi <= lo:
+                    return max(self.min, min(self.max, hi))
+                frac = (rank - cumulative) / n
+                return max(self.min, min(self.max, lo + frac * (hi - lo)))
+            cumulative += n
+        return self.max
+
+    # -- serialized form -------------------------------------------------
+    def to_event(self) -> Dict:
+        return {
+            "ev": "hist",
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    @classmethod
+    def from_event(cls, event: Dict) -> "Histogram":
+        h = cls(event["name"], event["bounds"])
+        h.counts = list(event["counts"])
+        h.count = event["count"]
+        h.sum = event["sum"]
+        h.min = event["min"] if event["count"] else float("inf")
+        h.max = event["max"] if event["count"] else float("-inf")
+        return h
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another snapshot in (e.g. the same metric from a worker)."""
+        if other.bounds == self.bounds:
+            for i, n in enumerate(other.counts):
+                self.counts[i] += n
+        else:  # mismatched layouts: keep exact aggregates, re-bucket coarsely
+            mid_ok = other.count > 0
+            if mid_ok:
+                self.counts[bisect.bisect_left(self.bounds, other.mean)] += other.count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class Metrics:
+    """A process-local registry of named counters, gauges, histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    def snapshot_events(self, pid: int, ts: float) -> List[Dict]:
+        """The registry as plain JSON-ready events (journal tail)."""
+        events: List[Dict] = []
+        for name in sorted(self.counters):
+            events.append({
+                "ev": "counter", "name": name, "pid": pid, "ts": ts,
+                "value": self.counters[name].value,
+            })
+        for name in sorted(self.gauges):
+            events.append({
+                "ev": "gauge", "name": name, "pid": pid, "ts": ts,
+                "value": self.gauges[name].value,
+            })
+        for name in sorted(self.histograms):
+            event = self.histograms[name].to_event()
+            event["pid"] = pid
+            event["ts"] = ts
+            events.append(event)
+        return events

@@ -42,10 +42,13 @@ from __future__ import annotations
 import math
 import os
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..netlist.core import Netlist
+from ..obs import core as _obs
+from ..obs.metrics import RATIO_BUCKETS
 from .grid import PlacementGrid, Site
 
 try:  # vectorized rebuilds when numpy is around; pure-Python otherwise
@@ -688,6 +691,17 @@ class AnnealingPlacer:
 
     # ------------------------------------------------------------------
     def place(self) -> Placement:
+        with _obs.span(
+            "sa.place",
+            engine=self.engine_name,
+            cells=len(self._instances),
+            movable=len(self._movable),
+            nets=len(self._active_nets),
+        ) as _span:
+            placement = self._place(_span)
+        return placement
+
+    def _place(self, _span) -> Placement:
         sites = self._initial_sites()
         occupant: Dict[Site, Optional[str]] = {s: None for s in self.grid.sites()}
         for name, site in sites.items():
@@ -698,6 +712,7 @@ class AnnealingPlacer:
 
         if not self._movable:
             self.final_cost = total
+            _span.set(final_cost=total, temperatures=0)
             return Placement(grid=self.grid, sites=sites, pads=self.pads)
 
         n = len(self._movable)
@@ -717,7 +732,16 @@ class AnnealingPlacer:
 
         range_limit = float(max(self.grid.cols, self.grid.rows))
         min_temperature = 0.005 * total / max(1, len(self.netlist.nets))
+        n_temperatures = 0
         while temperature > max(min_temperature, 1e-9):
+            # Per-temperature telemetry (accept rate, cost, moves/s) is
+            # recorded at sweep granularity: one guarded check per sweep,
+            # nothing in the per-move hot loop, and nothing that reads or
+            # advances the RNG — traced and untraced anneals are
+            # bit-identical.
+            observing = _obs.active()
+            sweep_temperature = temperature
+            sweep_start = time.perf_counter() if observing else 0.0
             accepted = 0
             for _ in range(moves_per_t):
                 delta, applied = self._try_move(
@@ -743,10 +767,31 @@ class AnnealingPlacer:
             range_limit = max(1.0, range_limit * (1.0 - 0.44 + ratio))
             # Periodic exact rebuild bounds float drift in the running total.
             total = engine.rebuild()
+            n_temperatures += 1
+            if observing:
+                sweep_seconds = time.perf_counter() - sweep_start
+                _obs.point(
+                    "sa.temperature",
+                    temperature=sweep_temperature,
+                    moves=moves_per_t,
+                    accepted=accepted,
+                    accept_rate=ratio,
+                    cost=total,
+                    range_limit=range_limit,
+                    moves_per_s=(
+                        moves_per_t / sweep_seconds if sweep_seconds > 0 else 0.0
+                    ),
+                )
+                _obs.observe("sa.accept_rate", ratio, RATIO_BUCKETS)
+                _obs.observe("sa.temperature.seconds", sweep_seconds)
+                _obs.counter("sa.moves", moves_per_t)
+                _obs.counter("sa.accepted", accepted)
             if ratio < 0.01 and temperature < min_temperature * 10:
                 break
 
         self.final_cost = total
+        _span.set(final_cost=total, temperatures=n_temperatures)
+        _obs.counter("sa.placements")
         return Placement(grid=self.grid, sites=sites, pads=self.pads)
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs import core as _obs
 from .grid import Bin, Edge, RoutingGrid
 
 #: PathFinder cost schedule.
@@ -193,6 +194,22 @@ class PathFinderRouter:
         max_iterations: int = MAX_ITERATIONS,
     ) -> RoutingResult:
         """Route all nets to convergence or the iteration cap."""
+        with _obs.span(
+            "pathfinder.route",
+            nets=len(net_terminals),
+            tracks=self.grid.tracks,
+            cols=self.grid.cols,
+            rows=self.grid.rows,
+        ) as _span:
+            result = self._route(net_terminals, max_iterations, _span)
+        return result
+
+    def _route(
+        self,
+        net_terminals: Dict[str, Sequence[Bin]],
+        max_iterations: int,
+        _span,
+    ) -> RoutingResult:
         order = sorted(
             net_terminals,
             key=lambda n: -len(set(net_terminals[n])),
@@ -221,12 +238,31 @@ class PathFinderRouter:
                 routed[name] = self._route_net(
                     name, net_terminals[name], present_factor
                 )
+            # Per-iteration negotiation telemetry: rip-up and overuse
+            # counts at iteration granularity; instrumentation only reads
+            # router state, so traced and untraced routes are identical.
+            if _obs.active():
+                overused_now = len(self._overused())
+                _obs.point(
+                    "pathfinder.iteration",
+                    iteration=iterations,
+                    rerouted=len(reroute),
+                    overused=overused_now,
+                    present_factor=present_factor,
+                )
+                _obs.observe("pathfinder.overused_edges", float(overused_now))
+                if iteration > 0:
+                    _obs.counter("pathfinder.rip_ups", len(reroute))
             present_factor *= PRESENT_FACTOR_GROWTH
             if not self._overused():
                 break
+        overused_edges = len(self._overused())
+        _span.set(iterations=iterations, overused=overused_edges)
+        _obs.counter("pathfinder.routes")
+        _obs.counter("pathfinder.iterations", iterations)
         return RoutingResult(
             grid=self.grid,
             nets=routed,
             iterations=iterations,
-            overused_edges=len(self._overused()),
+            overused_edges=overused_edges,
         )

@@ -37,6 +37,7 @@ from ..cells.celltypes import (
     make_xoa,
 )
 from ..logic.truthtable import TruthTable
+from ..obs import core as _obs
 
 Ref = Tuple[str, int]  # ("leaf", index) or ("step", index)
 
@@ -541,18 +542,26 @@ def table_for_cells(
     # stack (including this module), so a top-level import would cycle.
     from ..flow.cache import StageCache
 
-    store = StageCache()
-    key = store.key(
-        "realize_table",
-        TABLE_BUILDER_VERSION,
-        sorted(cells),
-        bool(composite),
-        _library_fingerprint(cells),
-    )
-    table = store.get("realize_table", key)
-    if table is None:
-        table = _build_table(cells, composite)
-        store.put("realize_table", key, table)
+    with _obs.span(
+        "realize.table",
+        cells=",".join(sorted(cells)),
+        composite=bool(composite),
+    ) as sp:
+        store = StageCache()
+        key = store.key(
+            "realize_table",
+            TABLE_BUILDER_VERSION,
+            sorted(cells),
+            bool(composite),
+            _library_fingerprint(cells),
+        )
+        table = store.get("realize_table", key)
+        loaded = table is not None
+        if not loaded:
+            table = _build_table(cells, composite)
+            store.put("realize_table", key, table)
+        sp.set(loaded=loaded, entries=len(table))
+        _obs.counter("realize.table.loads" if loaded else "realize.table.builds")
     return table
 
 

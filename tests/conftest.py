@@ -23,6 +23,31 @@ def _isolated_stage_cache(tmp_path_factory):
     yield
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_journal_dir(tmp_path_factory):
+    """Point run journals at a per-session temp dir.
+
+    Tests that enable observation would otherwise drop journal files
+    into the repo's results/journals/.
+    """
+    import os
+
+    if "REPRO_JOURNAL_DIR" not in os.environ:
+        os.environ["REPRO_JOURNAL_DIR"] = str(
+            tmp_path_factory.mktemp("repro-journals")
+        )
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Deactivate any leftover tracer between tests (obs state is global)."""
+    from repro.obs import core as obs_core
+
+    yield
+    obs_core.reset()
+
+
 def make_ripple_design(width: int = 4, name: str = "ripple"):
     """A small registered ripple adder (xor/mux/and mix) used widely."""
     b = NetlistBuilder(name)

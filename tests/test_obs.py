@@ -1,0 +1,290 @@
+"""Unit tests for the observability subsystem (repro.obs).
+
+Covers the tracing core's lifecycle and no-op fast path, the metrics
+registry (histogram percentile math, cross-process merging), journal
+write/read round-trips, and the exporters (span tree, Chrome trace,
+stats, Prometheus text).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import core, export, journal
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Histogram,
+    Metrics,
+)
+
+
+class TestNoopFastPath:
+    def test_span_is_shared_noop_while_off(self):
+        assert not core.active()
+        s = core.span("anything", key="value")
+        assert s is core.NOOP_SPAN
+        assert core.span("other") is s
+        with s as inner:
+            inner.set(whatever=1)  # must be a silent no-op
+
+    def test_point_counter_gauge_observe_noop_while_off(self):
+        core.point("p", a=1)
+        core.counter("c")
+        core.gauge("g", 1.0)
+        core.observe("h", 0.5)
+        assert not core.active()
+
+
+class TestTraceLifecycle:
+    def test_begin_returns_true_only_for_owner(self):
+        assert core.begin() is True
+        assert core.active()
+        assert core.begin() is False  # nested layers record, don't own
+        events = core.drain()
+        assert not core.active()
+        assert events[0]["ev"] == "meta"
+        assert core.drain() == []  # drained trace is gone
+
+    def test_nested_spans_record_parent_chain(self):
+        core.begin()
+        with core.span("outer", tier="top") as outer:
+            with core.span("inner") as inner:
+                core.point("tick", n=1)
+            outer.set(late="attr")
+        events = core.drain()
+        spans = {e["name"]: e for e in events if e["ev"] == "span"}
+        points = [e for e in events if e["ev"] == "point"]
+        assert spans["inner"]["parent"] == spans["outer"]["sid"]
+        assert "parent" not in spans["outer"]
+        assert spans["outer"]["attrs"] == {"tier": "top", "late": "attr"}
+        assert points[0]["parent"] == spans["inner"]["sid"]
+        assert points[0]["attrs"] == {"n": 1}
+        assert spans["inner"]["dur"] >= 0.0
+        # inner closes before outer, so it is appended first
+        names = [e["name"] for e in events if e["ev"] == "span"]
+        assert names == ["inner", "outer"]
+
+    def test_span_ids_unique_across_trace_sessions(self):
+        """A worker runs one trace per cell; sids must never collide
+        after the fragments merge into one journal."""
+        sids = []
+        for _ in range(2):
+            core.begin()
+            with core.span("s"):
+                pass
+            sids.extend(
+                e["sid"] for e in core.drain() if e["ev"] == "span"
+            )
+        assert len(sids) == len(set(sids))
+
+    def test_metrics_snapshot_appended_on_drain(self):
+        core.begin()
+        core.counter("hits", 3)
+        core.gauge("level", 0.7)
+        core.observe("lat", 0.02)
+        events = core.drain()
+        kinds = [e["ev"] for e in events]
+        assert kinds.count("counter") == 1
+        assert kinds.count("gauge") == 1
+        assert kinds.count("hist") == 1
+        counter = next(e for e in events if e["ev"] == "counter")
+        assert (counter["name"], counter["value"]) == ("hits", 3)
+
+    def test_absorb_folds_foreign_events(self):
+        core.begin()
+        foreign = [{"ev": "span", "name": "w", "sid": "999:1",
+                    "pid": 999, "ts": 0.0, "dur": 0.1}]
+        core.absorb(foreign)
+        events = core.drain()
+        assert any(e.get("pid") == 999 for e in events)
+
+    def test_fork_inherited_state_is_discarded(self):
+        """A forked worker inherits the parent's tracer; first touch from
+        the child pid must drop it (parent keeps its own copy)."""
+        core.begin()
+        core._STATE.pid = os.getpid() + 1  # simulate being the child
+        assert not core.active()
+        assert core.begin() is True  # child starts a fresh trace of its own
+        core.drain()
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv(core.TRACE_ENV, raising=False)
+        assert not core.env_requested()
+        monkeypatch.setenv(core.TRACE_ENV, "0")
+        assert not core.env_requested()
+        monkeypatch.setenv(core.TRACE_ENV, "1")
+        assert core.env_requested()
+
+
+class TestHistogram:
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram("t")
+        for _ in range(100):
+            h.observe(0.3)  # all in one bucket
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(0.3)
+        assert h.percentile(99) == pytest.approx(0.3)
+        assert h.mean == pytest.approx(0.3)
+
+    def test_percentile_orders_mixed_observations(self):
+        h = Histogram("t")
+        for v in [0.001] * 50 + [10.0] * 50:
+            h.observe(v)
+        assert h.percentile(10) < 0.01
+        assert h.percentile(95) > 1.0
+        assert h.percentile(0) >= h.min
+        assert h.percentile(100) <= h.max
+
+    def test_empty_histogram(self):
+        h = Histogram("t")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        event = h.to_event()
+        assert event["min"] == 0.0 and event["max"] == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("t")
+        h.observe(DEFAULT_BUCKETS[-1] * 10)
+        assert h.counts[-1] == 1
+        assert h.percentile(99) == pytest.approx(DEFAULT_BUCKETS[-1] * 10)
+
+    def test_custom_bounds(self):
+        h = Histogram("rate", RATIO_BUCKETS)
+        h.observe(0.49)
+        assert len(h.counts) == len(RATIO_BUCKETS) + 1
+        assert h.percentile(50) == pytest.approx(0.49)
+
+    def test_event_roundtrip_and_merge(self):
+        a = Histogram("t")
+        b = Histogram("t")
+        for v in (0.01, 0.02, 0.03):
+            a.observe(v)
+        for v in (0.5, 1.5):
+            b.observe(v)
+        restored = Histogram.from_event(
+            json.loads(json.dumps(a.to_event()))
+        )
+        assert restored.counts == a.counts
+        assert restored.count == a.count
+        restored.merge(Histogram.from_event(b.to_event()))
+        assert restored.count == 5
+        assert restored.sum == pytest.approx(a.sum + b.sum)
+        assert restored.min == pytest.approx(0.01)
+        assert restored.max == pytest.approx(1.5)
+
+    def test_metrics_registry_reuses_instruments(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.counter("c").inc(2)
+        assert m.counter("c").value == 3
+        m.gauge("g").set(1.0)
+        m.gauge("g").set(2.0)
+        assert m.gauge("g").value == 2.0
+        assert m.histogram("h") is m.histogram("h")
+        events = m.snapshot_events(pid=1, ts=0.0)
+        assert [e["ev"] for e in events] == ["counter", "gauge", "hist"]
+
+
+class TestJournal:
+    def test_write_read_roundtrip(self, tmp_path):
+        core.begin()
+        with core.span("root"):
+            core.point("tick")
+        path = journal.finalize("unit", directory=tmp_path)
+        assert path is not None and path.exists()
+        events = journal.read_journal(path)
+        assert events[0]["ev"] == "meta"
+        assert {e["ev"] for e in events} >= {"meta", "span", "point"}
+        assert journal.latest_journal(tmp_path) == path
+        assert journal.last_journal() == path
+
+    def test_finalize_without_trace_is_none(self, tmp_path):
+        assert journal.finalize("idle", directory=tmp_path) is None
+
+    def test_bad_line_reports_path_and_lineno(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ev": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            journal.read_journal(bad)
+
+    def test_journal_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(journal.JOURNAL_DIR_ENV, str(tmp_path / "j"))
+        assert journal.journal_dir() == tmp_path / "j"
+
+    def test_environment_fingerprint_keys(self):
+        fp = journal.environment_fingerprint()
+        assert {"python", "platform", "cpu_count", "env"} <= set(fp)
+        assert all(k.startswith("REPRO_") for k in fp["env"])
+
+
+def _sample_events():
+    core.begin()
+    with core.span("root", design="alu"):
+        with core.span("child"):
+            core.point("marker", n=2)
+        core.counter("widgets", 4)
+        core.gauge("fill", 0.25)
+        core.observe("lat", 0.02)
+    return core.drain()
+
+
+class TestExport:
+    def test_span_tree_structure(self):
+        roots = export.build_span_tree(_sample_events())
+        assert [r.name for r in roots] == ["root"]
+        child = roots[0].children[0]
+        assert child.name == "child"
+        assert child.children[0].name == "marker"
+
+    def test_span_tree_orphans_become_roots(self):
+        events = [{"ev": "span", "name": "lost", "sid": "1:1",
+                   "pid": 1, "ts": 0.0, "dur": 0.1, "parent": "0:0"}]
+        roots = export.build_span_tree(events)
+        assert [r.name for r in roots] == ["lost"]
+
+    def test_format_span_tree(self):
+        text = export.format_span_tree(_sample_events())
+        assert "root" in text and "child" in text and "* marker" in text
+        assert "design=alu" in text
+        shallow = export.format_span_tree(_sample_events(), max_depth=0)
+        assert "child" not in shallow
+
+    def test_chrome_trace_shape(self):
+        doc = export.chrome_trace(_sample_events())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert "M" in phases and "X" in phases and "i" in phases
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["ts"] >= 0.0 and e["dur"] >= 0.0 for e in complete)
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_merges_across_pids(self):
+        events = _sample_events() + _sample_events()
+        counters = export.merge_counters(events)
+        assert counters["widgets"] == 8
+        hists = export.merge_histograms(events)
+        assert hists["lat"].count == 2
+        gauges = export.merge_gauges(events)
+        assert gauges["fill"] == 0.25
+
+    def test_format_stats(self):
+        text = export.format_stats(_sample_events())
+        assert "widgets" in text and "fill" in text and "lat" in text
+        assert "p95" in text
+        assert export.format_stats([]) == "no metrics recorded in this journal"
+
+    def test_prometheus_text(self):
+        text = export.prometheus_text(_sample_events())
+        assert "repro_widgets_total 4" in text
+        assert "repro_fill 0.25" in text
+        assert '_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_sum" in text
+        lines = text.splitlines()
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)  # cumulative

@@ -137,6 +137,64 @@ class TestStageCache:
         rerun = run_design(src.copy(), "granular", FAST)
         assert all(rerun.stage_cached.values())
 
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            pytest.param(lambda raw: raw[: len(raw) // 2], id="truncated"),
+            pytest.param(lambda raw: b"", id="empty"),
+            pytest.param(
+                lambda raw: raw.partition(b"\n")[0] + b"\n", id="no-payload"
+            ),
+        ],
+    )
+    def test_truncated_entry_detected_and_recomputed(
+        self, tmp_path, monkeypatch, mangle
+    ):
+        """Truncated entries (torn write, full disk) recompute, never crash."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        src = make_ripple_design(width=5, name="trunctest")
+        cold = run_design(src.copy(), "granular", FAST)
+
+        entries = list(tmp_path.rglob("*.pkl"))
+        assert entries
+        for path in entries:
+            path.write_bytes(mangle(path.read_bytes()))
+
+        redo = run_design(src.copy(), "granular", FAST)
+        assert not any(redo.stage_cached.values())
+        assert redo.cache_stats.corrupt == len(redo.stage_cached)
+        assert redo.flow_a.average_slack == cold.flow_a.average_slack
+        assert redo.flow_b.die_area == cold.flow_b.die_area
+        rerun = run_design(src.copy(), "granular", FAST)
+        assert all(rerun.stage_cached.values())
+
+    def test_corruption_increments_journal_counter(self, tmp_path, monkeypatch):
+        """With observation on, corrupt reads surface as ``cache.corrupt``."""
+        from dataclasses import replace
+
+        from repro.obs import journal as obs_journal
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        src = make_ripple_design(width=5, name="corruptobs")
+        run_design(src.copy(), "granular", FAST)
+        for path in tmp_path.rglob("*.pkl"):
+            path.write_bytes(path.read_bytes()[:10])
+
+        observed = replace(FAST, observe=True)
+        redo = run_design(src.copy(), "granular", observed)
+        assert redo.journal_path is not None
+        events = obs_journal.read_journal(redo.journal_path)
+        counters = {
+            e["name"]: e["value"] for e in events if e["ev"] == "counter"
+        }
+        assert counters["cache.corrupt"] == len(redo.stage_cached)
+        outcomes = [
+            e["attrs"]["outcome"]
+            for e in events
+            if e["ev"] == "point" and e["name"] == "cache"
+        ]
+        assert outcomes.count("corrupt") == len(redo.stage_cached)
+
     def test_disabled_cache_writes_nothing(self, tmp_path, monkeypatch):
         from dataclasses import replace
 
