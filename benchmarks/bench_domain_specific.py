@@ -68,10 +68,10 @@ def test_domain_specific_exploration(benchmark):
     # The crossover: granular-class PLBs win the datapath, the DFF-heavy
     # variant wins the sequential-dominated controller.
     alu_best = min(
-        _candidates(), key=lambda l: results[("alu", l)].die_area
+        _candidates(), key=lambda c: results[("alu", c)].die_area
     )
     fw_best = min(
-        _candidates(), key=lambda l: results[("firewire", l)].die_area
+        _candidates(), key=lambda c: results[("firewire", c)].die_area
     )
     assert alu_best != "seq_heavy"
     assert fw_best == "seq_heavy"

@@ -39,7 +39,7 @@ def main() -> None:
             rows[label] = run.flow_b
             print(f"{label:20s} {run.flow_b.die_area:9.0f} "
                   f"{run.flow_b.plbs_used:6d} {run.flow_b.average_slack:9.3f}")
-        best = min(rows, key=lambda l: rows[l].die_area)
+        best = min(rows, key=lambda r: rows[r].die_area)
         print(f"--> smallest die: {best}")
 
     print("\nPaper conclusion, confirmed end to end: the optimal PLB")

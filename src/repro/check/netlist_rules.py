@@ -1,0 +1,238 @@
+"""Deep structural netlist analysis (family ``NL``).
+
+Audits one :class:`~repro.netlist.core.Netlist` *as data* — it never
+mutates the netlist and never raises on a malformed one; every defect
+becomes a finding.  This family subsumes the original
+``repro.netlist.validate`` string checks (NL001–NL007) and adds the
+deeper invariants the flow silently assumed: multi-driven nets,
+unreachable logic cones, dangling drivers, and configuration
+feasibility against the cell's via-programmable function set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..netlist.core import Netlist
+from .findings import Finding, Severity
+from .rules import rule
+
+NL001 = rule(
+    "NL001", Severity.ERROR, "netlist",
+    "every non-input net has a driver",
+    paper_ref="Section 3.1 (mapped netlist feeds every later stage)",
+)
+NL002 = rule(
+    "NL002", Severity.ERROR, "netlist",
+    "a primary input is never also driven by an instance",
+)
+NL003 = rule(
+    "NL003", Severity.ERROR, "netlist",
+    "net driver references name a real instance pin and agree both ways",
+)
+NL004 = rule(
+    "NL004", Severity.ERROR, "netlist",
+    "net sink references name a real instance pin and agree both ways",
+)
+NL005 = rule(
+    "NL005", Severity.ERROR, "netlist",
+    "every instance pin connects to an existing net",
+)
+NL006 = rule(
+    "NL006", Severity.ERROR, "netlist",
+    "every primary output names an existing net",
+)
+NL007 = rule(
+    "NL007", Severity.ERROR, "netlist",
+    "the combinational network is loop-free",
+    paper_ref="Section 3.1 (synchronous design style; STA requires a DAG)",
+)
+NL008 = rule(
+    "NL008", Severity.ERROR, "netlist",
+    "no net is driven by more than one instance output",
+)
+NL009 = rule(
+    "NL009", Severity.ERROR, "netlist",
+    "each combinational config is in its cell's feasible function set",
+    paper_ref="Section 2 (via configuration realizes a feasible function)",
+)
+NL010 = rule(
+    "NL010", Severity.WARNING, "netlist",
+    "no instance drives a cone unreachable from any output or register",
+    paper_ref="Section 3.1 (compaction must not strand logic)",
+)
+
+
+def _combinational_cycle(netlist: Netlist) -> List[str]:
+    """Instance names on a combinational cycle ([] when loop-free).
+
+    A defensive re-derivation of :meth:`Netlist.topological_order` that
+    tolerates broken references (those are NL003–NL005's job) and
+    returns the stuck instances rather than raising.
+    """
+    indegree: Dict[str, int] = {}
+    dependents: Dict[str, List[str]] = {}
+    for inst in netlist.instances.values():
+        if inst.is_sequential:
+            continue
+        count = 0
+        for net_name in inst.input_nets():
+            net = netlist.nets.get(net_name)
+            if net is None or net.driver is None:
+                continue
+            driver = netlist.instances.get(net.driver[0])
+            if driver is not None and not driver.is_sequential:
+                count += 1
+                dependents.setdefault(driver.name, []).append(inst.name)
+        indegree[inst.name] = count
+    queue = [name for name, deg in indegree.items() if deg == 0]
+    seen: Set[str] = set()
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for dep in dependents.get(name, ()):
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                queue.append(dep)
+    return sorted(name for name in indegree if name not in seen)
+
+
+def _reachable_instances(netlist: Netlist) -> Set[str]:
+    """Instances in the transitive fanin of any output or register.
+
+    Registers are architectural state and always observable, so every
+    sequential instance (and hence its fanin cone) counts as live.
+    """
+    roots: List[str] = [o for o in netlist.outputs if o in netlist.nets]
+    reached: Set[str] = set()
+    for inst in netlist.instances.values():
+        if inst.is_sequential:
+            reached.add(inst.name)
+            roots.extend(
+                n for n in inst.input_nets() if n in netlist.nets
+            )
+    stack = list(roots)
+    while stack:
+        net = netlist.nets.get(stack.pop())
+        if net is None or net.driver is None:
+            continue
+        name = net.driver[0]
+        if name in reached:
+            continue
+        inst = netlist.instances.get(name)
+        if inst is None:
+            continue
+        reached.add(name)
+        stack.extend(inst.input_nets())
+    return reached
+
+
+def check_netlist(netlist: Netlist) -> List[Finding]:
+    """Run every NL rule over ``netlist``; returns findings (maybe [])."""
+    findings: List[Finding] = []
+
+    # --- net-side reference integrity (NL001-NL004) -------------------
+    for name, net in netlist.nets.items():
+        if net.driver is None and not net.is_input:
+            findings.append(NL001.finding(
+                f"net {name}", "undriven non-input net",
+                fix_hint="connect a driver or remove the net",
+            ))
+        if net.driver is not None and net.is_input:
+            findings.append(NL002.finding(
+                f"net {name}", "primary input is also driven",
+                fix_hint="rename the instance output net",
+            ))
+        if net.driver is not None:
+            inst_name, pin = net.driver
+            inst = netlist.instances.get(inst_name)
+            if inst is None:
+                findings.append(NL003.finding(
+                    f"net {name}",
+                    f"driver names unknown instance {inst_name!r}",
+                ))
+            elif inst.pin_nets.get(pin) != name:
+                findings.append(NL003.finding(
+                    f"net {name}",
+                    f"driver back-reference broken ({inst_name}.{pin})",
+                ))
+        for inst_name, pin in net.sinks:
+            inst = netlist.instances.get(inst_name)
+            if inst is None:
+                findings.append(NL004.finding(
+                    f"net {name}",
+                    f"sink names unknown instance {inst_name!r}",
+                ))
+            elif inst.pin_nets.get(pin) != name:
+                findings.append(NL004.finding(
+                    f"net {name}",
+                    f"sink back-reference broken ({inst_name}.{pin})",
+                ))
+
+    # --- instance-side integrity (NL005, NL008, NL009) ----------------
+    drivers_of_net: Dict[str, List[str]] = {}
+    for inst in netlist.instances.values():
+        for pin, net_name in inst.pin_nets.items():
+            if net_name not in netlist.nets:
+                findings.append(NL005.finding(
+                    f"instance {inst.name}",
+                    f"pin {pin} on unknown net {net_name!r}",
+                ))
+        out_net = inst.pin_nets.get(inst.cell.output_pin)
+        if out_net is not None:
+            drivers_of_net.setdefault(out_net, []).append(inst.name)
+        if not inst.is_sequential:
+            config = inst.config
+            if config is None:
+                findings.append(NL009.finding(
+                    f"instance {inst.name}",
+                    f"combinational cell {inst.cell.name} has no config",
+                ))
+            elif (inst.cell.feasible is not None
+                    and config not in inst.cell.feasible):
+                findings.append(NL009.finding(
+                    f"instance {inst.name}",
+                    f"config {config!r} is not via-realizable by "
+                    f"{inst.cell.name}",
+                    fix_hint="re-map through the realization table",
+                ))
+    for net_name, drivers in sorted(drivers_of_net.items()):
+        if len(drivers) > 1:
+            findings.append(NL008.finding(
+                f"net {net_name}",
+                f"driven by {len(drivers)} instance outputs: "
+                f"{sorted(drivers)}",
+            ))
+
+    # --- ports (NL006) -------------------------------------------------
+    for out in netlist.outputs:
+        if out not in netlist.nets:
+            findings.append(NL006.finding(
+                f"output {out}", "primary output is not a net",
+            ))
+
+    # --- loops (NL007) -------------------------------------------------
+    cycle = _combinational_cycle(netlist)
+    if cycle:
+        shown = ", ".join(cycle[:6]) + ("..." if len(cycle) > 6 else "")
+        findings.append(NL007.finding(
+            f"netlist {netlist.name}",
+            f"combinational cycle through {len(cycle)} instance(s): {shown}",
+            fix_hint="break the loop with a register",
+        ))
+
+    # --- dead logic (NL010) --------------------------------------------
+    # Only meaningful when references are intact; broken refs already
+    # fired errors above and make reachability unreliable.
+    if not findings:
+        reached = _reachable_instances(netlist)
+        for name in sorted(netlist.instances):
+            if name not in reached:
+                findings.append(NL010.finding(
+                    f"instance {name}",
+                    "drives no primary output or register (dead cone)",
+                    fix_hint="sweep_dangling() removes dead logic",
+                ))
+    return findings

@@ -1,0 +1,144 @@
+"""Packing-legality analysis (family ``PK``).
+
+Audits a :class:`~repro.pack.quadrisection.PackingResult` against the
+netlist it claims to legalize and the PLB architecture's resource model
+(:mod:`repro.pack.resources`): per-PLB slot budgets (MUX / ND3WI / DFF /
+buffer counts from Figure 1 and Figure 4), slot-compatibility of every
+hosted cell, array bounds, one-to-one netlist coverage, polarity
+consistency of configs hosted in with-inversion slots (the Benschop
+phase-assignment invariant), and an intra-PLB pin-budget proxy for the
+Figure-4 topology's local routability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..cells.celltypes import _polarity_variants, nand_table
+from ..core.plb import PLBArchitecture
+from ..netlist.core import Netlist
+from ..pack.quadrisection import PackingResult
+from .findings import Finding, Severity
+from .rules import rule
+
+PK001 = rule(
+    "PK001", Severity.ERROR, "packing",
+    "per-PLB slot occupancy never exceeds the architecture's budget",
+    paper_ref="Figures 1 and 4 (component counts per PLB)",
+)
+PK002 = rule(
+    "PK002", Severity.ERROR, "packing",
+    "every instance sits in a slot compatible with its cell type",
+    paper_ref="Section 3.2 (slot compatibility, e.g. ND2WI in a mux slot)",
+)
+PK003 = rule(
+    "PK003", Severity.ERROR, "packing",
+    "every assignment targets a PLB inside the array bounds",
+)
+PK004 = rule(
+    "PK004", Severity.ERROR, "packing",
+    "assignments and netlist instances correspond one-to-one",
+    paper_ref="Section 3.1 (packing allots every component a legal slot)",
+)
+PK005 = rule(
+    "PK005", Severity.ERROR, "packing",
+    "configs hosted in with-inversion slots are NAND polarity variants",
+    paper_ref="Section 2 (programmable inversion; Benschop phase "
+              "assignment)",
+)
+PK006 = rule(
+    "PK006", Severity.WARNING, "packing",
+    "distinct nets incident to one PLB fit its pin budget",
+    paper_ref="Figure 4 (intra-PLB routability of the local topology)",
+)
+
+#: Slots whose physical cell offers programmable input/output inversion.
+_WI_SLOTS = ("ND2WI", "ND3WI")
+
+
+def plb_pin_budget(arch: PLBArchitecture) -> int:
+    """Distinct-net capacity of one PLB: every component pin + output."""
+    budget = 0
+    for slot, count in arch.slots.items():
+        cell = arch.slot_cells[slot]
+        budget += count * (cell.n_inputs + 1)
+    return budget
+
+
+def check_packing(
+    netlist: Netlist, packing: PackingResult
+) -> List[Finding]:
+    """Run every PK rule over one packing outcome."""
+    findings: List[Finding] = []
+    arch = packing.arch
+
+    # --- coverage (PK004) ----------------------------------------------
+    assigned = set(packing.assignments)
+    instance_names = set(netlist.instances)
+    for name in sorted(instance_names - assigned):
+        findings.append(PK004.finding(
+            f"instance {name}", "netlist instance has no slot assignment",
+        ))
+    for name in sorted(assigned - instance_names):
+        findings.append(PK004.finding(
+            f"instance {name}", "assignment names an unknown instance",
+        ))
+
+    # --- per-assignment legality (PK002, PK003, PK005) -----------------
+    occupancy: Dict[Tuple[int, int], Dict[str, int]] = {}
+    incident_nets: Dict[Tuple[int, int], Set[str]] = {}
+    for name in sorted(assigned & instance_names):
+        assignment = packing.assignments[name]
+        inst = netlist.instances[name]
+        plb, slot = assignment.plb, assignment.slot
+        if not (0 <= plb[0] < packing.cols and 0 <= plb[1] < packing.rows):
+            findings.append(PK003.finding(
+                f"instance {name}",
+                f"assigned to PLB {plb} outside the "
+                f"{packing.cols}x{packing.rows} array",
+            ))
+            continue
+        occupancy.setdefault(plb, {})[slot] = (
+            occupancy.get(plb, {}).get(slot, 0) + 1
+        )
+        nets = incident_nets.setdefault(plb, set())
+        nets.update(inst.pin_nets.values())
+        if slot not in arch.hosting_slots(inst.cell.name):
+            findings.append(PK002.finding(
+                f"instance {name}",
+                f"cell {inst.cell.name} cannot occupy slot {slot!r} "
+                f"(allowed: {list(arch.hosting_slots(inst.cell.name))})",
+                fix_hint="re-pack with the architecture's "
+                         "compatibility table",
+            ))
+        if slot in _WI_SLOTS and inst.config is not None:
+            n = inst.config.n_inputs
+            if n in (2, 3):
+                if inst.config not in _polarity_variants(nand_table(n)):
+                    findings.append(PK005.finding(
+                        f"instance {name}",
+                        f"config {inst.config!r} in WI slot {slot} is "
+                        f"not a polarity variant of NAND{n}",
+                        fix_hint="host the cell in a mux or LUT slot",
+                    ))
+
+    # --- per-PLB budgets (PK001, PK006) --------------------------------
+    capacity = arch.capacity()
+    budget = plb_pin_budget(arch)
+    for plb in sorted(occupancy):
+        for slot, used in sorted(occupancy[plb].items()):
+            if used > capacity.get(slot, 0):
+                findings.append(PK001.finding(
+                    f"plb {plb}",
+                    f"slot {slot!r} holds {used} instances, budget is "
+                    f"{capacity.get(slot, 0)}",
+                    fix_hint="grow the array (pack_headroom) or re-pack",
+                ))
+        incident = len(incident_nets.get(plb, ()))
+        if incident > budget:
+            findings.append(PK006.finding(
+                f"plb {plb}",
+                f"{incident} distinct incident nets exceed the "
+                f"{budget}-pin budget",
+            ))
+    return findings

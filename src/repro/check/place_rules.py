@@ -1,0 +1,69 @@
+"""Placement audits (family ``PL``).
+
+Audits a :class:`~repro.place.sa.Placement` against its netlist: every
+site inside the grid, at most one instance per site (the site grid is
+one-cell-per-site by construction), and exact instance correspondence
+— the invariants the vectorized annealer and the packing stage assume
+but never re-verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netlist.core import Netlist
+from ..place.sa import Placement
+from .findings import Finding, Severity
+from .rules import rule
+
+PL001 = rule(
+    "PL001", Severity.ERROR, "placement",
+    "every placed site lies inside the placement grid",
+)
+PL002 = rule(
+    "PL002", Severity.ERROR, "placement",
+    "no two instances share one placement site",
+    paper_ref="Section 3.1 (detailed standard-cell placement)",
+)
+PL003 = rule(
+    "PL003", Severity.ERROR, "placement",
+    "placement and netlist instances correspond one-to-one",
+)
+
+
+def check_placement(
+    netlist: Netlist, placement: Placement
+) -> List[Finding]:
+    """Run every PL rule over one placement."""
+    findings: List[Finding] = []
+    grid = placement.grid
+
+    by_site: Dict[Tuple[int, int], List[str]] = {}
+    for name in sorted(placement.sites):
+        site = placement.sites[name]
+        if not grid.contains(site):
+            findings.append(PL001.finding(
+                f"instance {name}",
+                f"site {site} outside the {grid.cols}x{grid.rows} grid",
+            ))
+        by_site.setdefault(site, []).append(name)
+    for site in sorted(by_site):
+        names = by_site[site]
+        if len(names) > 1:
+            findings.append(PL002.finding(
+                f"site {site}",
+                f"occupied by {len(names)} instances: {names}",
+                fix_hint="re-legalize the placement",
+            ))
+
+    placed = set(placement.sites)
+    instances = set(netlist.instances)
+    for name in sorted(instances - placed):
+        findings.append(PL003.finding(
+            f"instance {name}", "netlist instance has no site",
+        ))
+    for name in sorted(placed - instances):
+        findings.append(PL003.finding(
+            f"instance {name}", "placed name is not a netlist instance",
+        ))
+    return findings

@@ -1,0 +1,122 @@
+"""Routing audits (family ``RT``).
+
+Audits a :class:`~repro.route.pathfinder.RoutingResult` against the net
+pin points it was routed from: residual overuse must be zero (the
+PathFinder convergence contract), every multi-bin net must have a route
+and every single-bin or routed net's tree must actually *connect* the
+bins its pins map to — the placed-netlist / routed-geometry
+correspondence that extraction and STA silently trust.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from ..route.grid import Bin
+from ..route.pathfinder import RoutingResult
+from .findings import Finding, Severity
+from .rules import rule
+
+RT001 = rule(
+    "RT001", Severity.ERROR, "routing",
+    "no routing edge is used beyond its track capacity after the "
+    "final iteration",
+    paper_ref="Section 3.1 (ASIC-style routing must close)",
+)
+RT002 = rule(
+    "RT002", Severity.ERROR, "routing",
+    "every routed net corresponds to a netlist net with pins, and "
+    "every multi-bin net is routed",
+)
+RT003 = rule(
+    "RT003", Severity.ERROR, "routing",
+    "each routed tree is connected and covers all its terminal bins",
+)
+RT004 = rule(
+    "RT004", Severity.ERROR, "routing",
+    "routed edges join adjacent in-grid bins",
+)
+
+
+def _tree_connected(bins: Set[Bin], edges: Set[Tuple[Bin, Bin]]) -> bool:
+    """True when ``edges`` connect every bin in ``bins``."""
+    if len(bins) <= 1:
+        return True
+    adjacency: Dict[Bin, List[Bin]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    start = next(iter(sorted(bins)))
+    seen = {start}
+    stack = [start]
+    while stack:
+        for neighbor in adjacency.get(stack.pop(), ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return bins <= seen
+
+
+def check_routing(
+    result: RoutingResult,
+    net_points: Mapping[str, Sequence[Tuple[float, float]]],
+) -> List[Finding]:
+    """Run every RT rule over one routing outcome.
+
+    ``net_points`` is the same pin-point mapping the router consumed
+    (:meth:`Placement.net_pin_points` / :meth:`PackingResult.net_pin_points`).
+    """
+    findings: List[Finding] = []
+    grid = result.grid
+
+    if result.overused_edges > 0:
+        findings.append(RT001.finding(
+            f"grid {grid.cols}x{grid.rows}",
+            f"{result.overused_edges} edge(s) still over "
+            f"{grid.tracks} tracks after {result.iterations} iterations",
+            fix_hint="raise routing_tracks or the iteration cap",
+        ))
+
+    # Terminal bins per net, exactly as the router derived them.
+    terminals: Dict[str, List[Bin]] = {}
+    for net, points in net_points.items():
+        bins = [grid.bin_of_point(x, y) for x, y in points]
+        unique = list(dict.fromkeys(bins))
+        if len(unique) >= 2:
+            terminals[net] = unique
+
+    for net in sorted(result.nets):
+        if net not in net_points:
+            findings.append(RT002.finding(
+                f"net {net}", "routed net has no netlist pins",
+            ))
+    for net in sorted(terminals):
+        if net not in result.nets:
+            findings.append(RT002.finding(
+                f"net {net}",
+                f"spans {len(terminals[net])} bins but was never routed",
+            ))
+
+    for net in sorted(result.nets):
+        routed = result.nets[net]
+        for a, b in sorted(routed.edges):
+            if not (grid.contains(a) and grid.contains(b)):
+                findings.append(RT004.finding(
+                    f"net {net}", f"edge {(a, b)} leaves the grid",
+                ))
+            elif abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                findings.append(RT004.finding(
+                    f"net {net}", f"edge {(a, b)} joins non-adjacent bins",
+                ))
+        needed = set(terminals.get(net, ()))
+        missing = sorted(needed - routed.bins)
+        if missing:
+            findings.append(RT003.finding(
+                f"net {net}",
+                f"terminal bin(s) {missing} not covered by the tree",
+            ))
+        elif not _tree_connected(routed.bins | needed, routed.edges):
+            findings.append(RT003.finding(
+                f"net {net}", "routed tree is disconnected",
+            ))
+    return findings

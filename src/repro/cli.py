@@ -8,6 +8,12 @@ Commands
     Run one benchmark design through both flows on one architecture.
     ``--json`` emits a machine-readable run summary; ``--trace`` records
     a run journal (see :mod:`repro.obs`).
+``check [DESIGN ...]``
+    Static verification: run the flow for the named designs (default:
+    all shipped benchmarks) and audit every stage artifact with the
+    :mod:`repro.check` rule families; ``--self`` lints the ``repro``
+    source tree for determinism hazards instead.  ``--json`` / ``--sarif``
+    emit machine-readable findings; exit status reflects ``--fail-on``.
 ``tables``
     Regenerate the paper's Tables 1 and 2 (plus the compaction summary).
 ``explore``
@@ -82,15 +88,22 @@ def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
     from .flow.flow import run_design
     from .flow.options import FlowOptions
 
+    from .check import CheckError
+
     options = FlowOptions(
         arch=args.arch, seed=args.seed, place_effort=args.effort,
         jobs=args.jobs, use_cache=not args.no_cache,
-        observe=args.trace,
+        observe=args.trace, check=args.check,
     )
     netlist = build_design(args.design, scale=args.scale)
     reporter.info(f"Running {args.design} (scale {args.scale}) on the "
                   f"{args.arch} architecture...")
-    run = run_design(netlist, args.arch, options)
+    try:
+        run = run_design(netlist, args.arch, options)
+    except CheckError as exc:
+        print(f"fatal check findings ({exc.context}):", file=sys.stderr)
+        print(exc.report.format(), file=sys.stderr)
+        return 1
     if args.json:
         reporter.payload(run.summary())
     else:
@@ -108,6 +121,84 @@ def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
     if run.journal_path is not None:
         reporter.info(f"journal: {run.journal_path}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace, reporter: Reporter) -> int:
+    from dataclasses import replace
+
+    from .check import (
+        REGISTRY,
+        Report,
+        Severity,
+        check_design_run,
+        filter_findings,
+        lint_paths,
+        rule_catalog,
+    )
+
+    rules = rule_catalog()
+    if args.list_rules:
+        for rule_obj in rules:
+            ref = f"  [{rule_obj.paper_ref}]" if rule_obj.paper_ref else ""
+            reporter.out(
+                f"{rule_obj.rule_id}  {rule_obj.severity.label:7s} "
+                f"{rule_obj.stage:11s} {rule_obj.description}{ref}"
+            )
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = {
+            token.strip()
+            for part in args.rules
+            for token in part.split(",")
+            if token.strip()
+        }
+        REGISTRY.validate_selection(rule_ids)
+
+    report = Report()
+    if args.self:
+        reporter.info("linting src/repro for determinism hazards...")
+        report.extend(filter_findings(lint_paths(), rule_ids))
+    else:
+        from .flow.experiments import build_design
+        from .flow.flow import run_design
+        from .flow.options import FlowOptions
+
+        designs = args.design or DESIGN_CHOICES
+        unknown = [d for d in designs if d not in DESIGN_CHOICES]
+        if unknown:
+            print(f"unknown design(s) {unknown} "
+                  f"(choices: {DESIGN_CHOICES})", file=sys.stderr)
+            return 2
+        arches = (
+            ["lut", "granular"] if args.arch == "all" else [args.arch]
+        )
+        for design in designs:
+            netlist = build_design(design, scale=args.scale)
+            for arch in arches:
+                options = FlowOptions(
+                    arch=arch, seed=args.seed, place_effort=args.effort,
+                    use_cache=not args.no_cache,
+                )
+                reporter.info(f"checking {design}/{arch}...")
+                run = run_design(netlist, arch, options)
+                sub = check_design_run(run, stages=args.stage,
+                                       rule_ids=rule_ids)
+                report.extend(
+                    replace(f, location=f"{design}/{arch}: {f.location}")
+                    for f in sub
+                )
+
+    if args.json:
+        reporter.payload(report.to_json())
+    elif args.sarif:
+        reporter.payload(report.to_sarif(rules))
+    else:
+        reporter.out(report.format())
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
 
 
 def _cmd_tables(args: argparse.Namespace, reporter: Reporter) -> int:
@@ -270,6 +361,9 @@ def _add_flow_arguments(flow: argparse.ArgumentParser) -> None:
                            "events) under results/journals/")
     flow.add_argument("--json", action="store_true",
                       help="emit a machine-readable run summary on stdout")
+    flow.add_argument("--check", action="store_true",
+                      help="audit stage artifacts at every flow boundary; "
+                           "a fatal finding aborts the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,6 +384,43 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="alias of `flow`: run one design through the flow"
     )
     _add_flow_arguments(run)
+
+    check = sub.add_parser(
+        "check", help="static verification of flow artifacts / source tree"
+    )
+    check.add_argument("design", nargs="*", default=[],
+                       help=f"designs to audit (default: all of "
+                            f"{', '.join(DESIGN_CHOICES)})")
+    check.add_argument("--arch", choices=["lut", "granular", "all"],
+                       default="all")
+    check.add_argument("--scale", type=float, default=0.5)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--effort", type=float, default=0.2,
+                       help="placement effort (1.0 = full anneal)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-addressed stage cache")
+    check.add_argument("--stage", action="append", default=None,
+                       metavar="STAGE",
+                       help="restrict to one artifact family (repeatable): "
+                            "netlist, library, placement, packing, routing, "
+                            "equivalence")
+    check.add_argument("--rules", action="append", default=None,
+                       metavar="IDS",
+                       help="comma-separated rule ids to report (repeatable)")
+    check.add_argument("--self", action="store_true",
+                       help="lint src/repro for determinism hazards instead "
+                            "of auditing flow artifacts")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalog and exit")
+    check.add_argument("--fail-on", choices=["info", "warning", "error"],
+                       default="error",
+                       help="lowest severity that makes the exit status "
+                            "non-zero (default: error)")
+    output = check.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout")
+    output.add_argument("--sarif", action="store_true",
+                        help="emit findings as SARIF 2.1.0 on stdout")
 
     tables = sub.add_parser("tables", help="regenerate Tables 1 and 2")
     tables.add_argument("--scale", type=float, default=0.5)
@@ -355,6 +486,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "flow": _cmd_flow,
         "run": _cmd_flow,
+        "check": _cmd_check,
         "tables": _cmd_tables,
         "explore": _cmd_explore,
         "vias": _cmd_vias,

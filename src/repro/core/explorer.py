@@ -19,8 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..cells.celltypes import CellType, make_dff, make_lut3, make_mux2, make_nd3wi, make_xoa
 from ..cells.characterize import characterize_cell
 from ..logic.truthtable import TruthTable, all_functions
-from .adder import AdderFunctions
-from .configs import LogicConfig, granular_configs, lut_arch_configs
+from .configs import granular_configs, lut_arch_configs
 from .plb import PLBArchitecture, granular_plb, lut_plb
 
 #: Reference load (unit-inverter loads) for intrinsic-delay comparisons.
@@ -203,7 +202,6 @@ class GranularityExplorer:
             mux_for_other = 2.0 * (need_other - lut_used)
             # Place mux-type: mux slots, then LUTs.
             mux_used = need_mux + mux_for_other
-            lut_for_mux = max(0.0, 0.0)
             # AND-type: NAND slots, overflow to muxes or LUTs.
             nand_used = min(nands, need_nand)
             overflow = need_nand - nand_used

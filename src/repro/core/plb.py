@@ -269,12 +269,7 @@ def custom_plb(name: str, components: Mapping[str, int]) -> PLBArchitecture:
     """
     from ..cells.celltypes import make_buf, make_inv, make_nd2wi
     from ..cells.library import Library
-    from .configs import (
-        granular_configs,
-        lut_arch_configs,
-        mx_functions,
-        nd3_functions,
-    )
+    from .configs import granular_configs, lut_arch_configs
 
     allowed = {"LUT3", "ND3WI", "MUX2", "XOA", "DFF"}
     unknown = set(components) - allowed

@@ -30,7 +30,6 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..logic.truthtable import TruthTable, all_functions
 from .functions3 import (
-    SELECT_INDEX,
     cofactors_about_select,
     is_xor_type,
     literal_sources_3in,

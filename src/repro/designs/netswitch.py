@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..netlist.build import CONST0, CONST1, NetlistBuilder, Signal
+from ..netlist.build import CONST0, NetlistBuilder, Signal
 from ..netlist.core import Netlist
 from .rtl import counter, crc_register, decoder, mux_tree, register_word
 

@@ -9,7 +9,7 @@ RTL the paper feeds its flow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.build import CONST0, CONST1, NetlistBuilder, Signal
 

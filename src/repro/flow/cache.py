@@ -20,15 +20,16 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from ..netlist.core import Netlist
 from ..obs import core as _obs
 
 #: Bump to invalidate all existing cache entries on format changes.
-CACHE_FORMAT_VERSION = 1
+#: 2: SynthesisResult.pre_compaction_netlist + DesignRun.packed.
+CACHE_FORMAT_VERSION = 2
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"

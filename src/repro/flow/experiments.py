@@ -12,18 +12,16 @@ scaled down for a pure-Python flow).
 
 from __future__ import annotations
 
-import math
 import os
 import warnings
-from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..core.s3 import category_counts, modified_s3_implementable, s3_feasible_set
 from ..designs import build_alu, build_firewire, build_fpu, build_netswitch
 from ..netlist.core import Netlist
 from .cache import CacheStats
-from .flow import DesignRun, run_design
+from .flow import DesignRun
 from .options import FlowOptions
 from .parallel import run_cells
 
@@ -228,7 +226,7 @@ class Table1:
 def run_table1(matrix: Optional[Matrix] = None) -> Table1:
     matrix = matrix or run_matrix()
     rows = {}
-    for design in {d for d, _a in matrix.runs}:
+    for design in dict.fromkeys(d for d, _a in matrix.runs):
         gran = matrix.run(design, "granular")
         lut = matrix.run(design, "lut")
         rows[design] = Table1Row(
@@ -322,7 +320,7 @@ def run_table2(matrix: Optional[Matrix] = None) -> Table2:
     matrix = matrix or run_matrix()
     rows = {}
     period = 0.5
-    for design in {d for d, _a in matrix.runs}:
+    for design in dict.fromkeys(d for d, _a in matrix.runs):
         gran = matrix.run(design, "granular")
         lut = matrix.run(design, "lut")
         period = gran.flow_a.timing.period

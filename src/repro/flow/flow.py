@@ -50,7 +50,7 @@ from ..synth.from_netlist import CombCore, extract_core
 from ..synth.optimize import optimize
 from ..synth.techmap import map_core
 from ..timing.sta import TimingReport, analyze
-from .cache import CacheStats, NullCache, StageCache, canonical_netlist, stable_hash
+from .cache import CacheStats, NullCache, StageCache, canonical_netlist
 from .options import FlowOptions
 
 #: Deep mapped netlists recurse through reconstruction helpers.
@@ -98,6 +98,9 @@ class SynthesisResult:
     compaction: CompactionReport
     pre_compaction_stats: NetlistStats
     stats: NetlistStats
+    #: Mapped netlist before logic compaction — the golden reference for
+    #: cross-stage equivalence checking (``repro check --stage equivalence``).
+    pre_compaction_netlist: Optional[Netlist] = None
 
 
 @dataclass
@@ -133,6 +136,9 @@ class DesignRun:
     physical: PhysicalResult
     flow_a: FlowResult
     flow_b: FlowResult
+    #: Full packing-stage artifact (netlist + PLB assignment), kept so
+    #: ``repro check`` can audit packing legality after the run.
+    packed: Optional[PackedDesign] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_cached: Dict[str, bool] = field(default_factory=dict)
     cache_stats: Optional[CacheStats] = None
@@ -227,6 +233,7 @@ def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
     with _obs.span("synth.map", arch=options.arch):
         mapped = map_core(core, options.arch, library)
     pre_stats = gather(mapped)
+    pre_netlist = mapped.copy()
     if options.run_compaction:
         with _obs.span("synth.compact", arch=options.arch):
             mapped, report = compact_to_fixpoint(mapped, options.arch, library)
@@ -244,13 +251,14 @@ def synthesize(netlist: Netlist, options: FlowOptions) -> SynthesisResult:
         compaction=report,
         pre_compaction_stats=pre_stats,
         stats=gather(mapped),
+        pre_compaction_netlist=pre_netlist,
     )
 
 
 def _run_physical(synthesis: SynthesisResult, options: FlowOptions) -> PhysicalResult:
     """Physical synthesis on the mapped netlist (mutates a private copy)."""
     return run_physical_synthesis(
-        synthesis.netlist,
+        synthesis.netlist.copy(),
         synthesis.library,
         synthesis.timing_library,
         period=options.period,
@@ -298,9 +306,14 @@ def _flow_a_result(
 def _pack_stage(
     synthesis: SynthesisResult, physical: PhysicalResult, options: FlowOptions
 ) -> PackedDesign:
-    """Packing into the PLB array, iterated with physical synthesis."""
+    """Packing into the PLB array, iterated with physical synthesis.
+
+    The packing loop mutates the netlist it is given (buffer insertion
+    during re-synthesis), so it gets a private copy — ``physical`` must
+    stay a faithful placement-stage artifact for post-hoc audits.
+    """
     return run_packing_loop(
-        physical.netlist,
+        physical.netlist.copy(),
         physical.placement,
         synthesis.arch,
         synthesis.library,
@@ -414,8 +427,17 @@ def run_design(
     seconds: Dict[str, float] = {}
     cached: Dict[str, bool] = {}
 
+    def guard(stage: str, **artifacts) -> None:
+        """Fatal-only stage-boundary audit (``FlowOptions.check``)."""
+        if not options.check:
+            return
+        from ..check.runner import check_stage, enforce
+
+        report = check_stage(stage, **artifacts)
+        enforce(report, f"{netlist.name}/{arch} after {stage}")
+
     def staged(stage, key, compute):
-        start = time.perf_counter()
+        start = time.perf_counter()  # check: allow(DT002) timing report only
         with _obs.span(f"flow.{stage}", stage=stage) as sp:
             result = cache.get(stage, key)
             hit = result is not None
@@ -423,7 +445,7 @@ def run_design(
                 result = compute()
                 cache.put(stage, key, result)
             sp.set(cached=hit)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # check: allow(DT002) timing report only
         cached[stage] = hit
         seconds[stage] = elapsed
         _obs.observe(f"stage.seconds.{stage}", elapsed)
@@ -440,6 +462,7 @@ def run_design(
         synthesis = staged(
             "synthesis", k_synth, lambda: synthesize(netlist, options)
         )
+        guard("netlist", netlist=synthesis.netlist)
 
         k_phys = cache.key(
             "physical", k_synth, options.seed, options.place_iterations,
@@ -448,6 +471,8 @@ def run_design(
         physical = staged(
             "physical", k_phys, lambda: _run_physical(synthesis, options)
         )
+        guard("placement", netlist=physical.netlist,
+              placement=physical.placement)
 
         k_route_a = cache.key(
             "route_a", k_phys, options.routing_tracks,
@@ -457,6 +482,10 @@ def run_design(
             "route_a", k_route_a,
             lambda: _flow_a_result(synthesis, physical, options),
         )
+        guard(
+            "routing", routing=flow_a.routing,
+            net_points=physical.placement.net_pin_points(physical.netlist),
+        )
 
         k_pack = cache.key(
             "packing", k_phys, options.pack_iterations, options.pack_headroom,
@@ -464,6 +493,12 @@ def run_design(
         )
         packed = staged(
             "packing", k_pack, lambda: _pack_stage(synthesis, physical, options)
+        )
+        guard("packing", netlist=packed.netlist, packing=packed.packing)
+        guard(
+            "equivalence",
+            reference=synthesis.pre_compaction_netlist or synthesis.netlist,
+            implementation=packed.netlist,
         )
 
         k_route_b = cache.key(
@@ -473,6 +508,10 @@ def run_design(
             "route_b", k_route_b,
             lambda: _flow_b_result(synthesis, packed, options),
         )
+        guard(
+            "routing", routing=flow_b.routing,
+            net_points=packed.packing.net_pin_points(packed.netlist),
+        )
 
     run = DesignRun(
         design=netlist.name,
@@ -481,6 +520,7 @@ def run_design(
         physical=physical,
         flow_a=flow_a,
         flow_b=flow_b,
+        packed=packed,
         stage_seconds=seconds,
         stage_cached=cached,
         cache_stats=cache.stats,

@@ -29,6 +29,11 @@ class FlowOptions:
     the performance knobs it never changes computed results — traced and
     untraced runs are bit-identical — and it is excluded from stage
     cache keys.
+
+    ``check`` runs the fatal-severity subset of :mod:`repro.check` at
+    every flow stage boundary (``--check`` on the CLI); a fatal finding
+    aborts the run with :class:`repro.check.CheckError`.  Audits only
+    read stage artifacts, so this too never changes computed results.
     """
 
     arch: str = "granular"
@@ -46,6 +51,7 @@ class FlowOptions:
     jobs: int = 1
     use_cache: bool = True
     observe: bool = False
+    check: bool = False
 
     def with_arch(self, arch: str) -> "FlowOptions":
         from dataclasses import replace

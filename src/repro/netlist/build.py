@@ -15,7 +15,7 @@ paper feeds RTL through Design Compiler.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cells.celltypes import CellType, make_dff
 from ..logic.truthtable import TruthTable

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..logic.truthtable import TruthTable
-from .core import Instance, Netlist, NetlistError
+from .core import Netlist, NetlistError
 
 Vectors = Dict[str, np.ndarray]
 

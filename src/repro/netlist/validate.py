@@ -1,8 +1,14 @@
-"""Structural netlist validation.
+"""Structural netlist validation (compat wrappers).
 
-``validate`` returns a list of human-readable problems (empty = clean).
-``check`` raises on the first problem — the form used inside the flow,
-where a malformed intermediate netlist should stop the run immediately.
+The real analysis lives in :mod:`repro.check.netlist_rules` as
+severity-tagged findings (rule family ``NL``).  These wrappers keep the
+historical surface: ``validate`` returns human-readable problem strings
+(empty = clean), ``check`` raises on the first fatal finding — the form
+used inside the flow, where a malformed intermediate netlist should
+stop the run immediately.
+
+Only ERROR-severity findings count as "problems" here; warnings (such
+as dead-cone reports) are advisory and reachable via ``repro check``.
 """
 
 from __future__ import annotations
@@ -14,44 +20,14 @@ from .core import Netlist, NetlistError
 
 def validate(netlist: Netlist) -> List[str]:
     """Collect structural problems: floating nets, bad refs, cycles."""
-    problems: List[str] = []
+    from ..check.findings import Severity
+    from ..check.netlist_rules import check_netlist
 
-    for name, net in netlist.nets.items():
-        if net.driver is None and not net.is_input:
-            problems.append(f"net {name!r} is undriven")
-        if net.driver is not None and net.is_input:
-            problems.append(f"primary input {name!r} is also driven")
-        if net.driver is not None:
-            inst_name, pin = net.driver
-            if inst_name not in netlist.instances:
-                problems.append(f"net {name!r} driven by unknown instance {inst_name!r}")
-            elif netlist.instances[inst_name].pin_nets.get(pin) != name:
-                problems.append(f"net {name!r} driver back-reference broken")
-        for inst_name, pin in net.sinks:
-            if inst_name not in netlist.instances:
-                problems.append(f"net {name!r} feeds unknown instance {inst_name!r}")
-            elif netlist.instances[inst_name].pin_nets.get(pin) != name:
-                problems.append(f"net {name!r} sink back-reference broken ({inst_name}.{pin})")
-
-    for inst in netlist.instances.values():
-        for pin, net_name in inst.pin_nets.items():
-            if net_name not in netlist.nets:
-                problems.append(f"instance {inst.name!r} pin {pin} on unknown net {net_name!r}")
-        out_net = inst.pin_nets.get(inst.cell.output_pin)
-        if out_net is not None and out_net in netlist.nets:
-            if netlist.nets[out_net].driver != (inst.name, inst.cell.output_pin):
-                problems.append(f"instance {inst.name!r} output net driver mismatch")
-
-    for out in netlist.outputs:
-        if out not in netlist.nets:
-            problems.append(f"primary output {out!r} is not a net")
-
-    try:
-        netlist.topological_order()
-    except NetlistError as exc:
-        problems.append(str(exc))
-
-    return problems
+    return [
+        f"{finding.location}: {finding.message}"
+        for finding in check_netlist(netlist)
+        if finding.severity >= Severity.ERROR
+    ]
 
 
 def check(netlist: Netlist) -> None:

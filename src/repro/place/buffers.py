@@ -13,7 +13,7 @@ the equivalence tests exercise.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..cells.library import Library
 from ..logic.truthtable import TruthTable

@@ -19,7 +19,7 @@ Units: capacitance in unit-inverter loads (converted via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Optional
 
 from ..cells.characterize import TimingLibrary
 from ..netlist.core import Netlist

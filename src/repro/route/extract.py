@@ -8,9 +8,8 @@ extraction, turning routed tree lengths and via counts into the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-from ..netlist.core import Netlist
 from ..timing.wires import WireModel
 from .grid import Bin, RoutingGrid
 from .pathfinder import PathFinderRouter, RoutingResult

@@ -9,8 +9,8 @@ die with uniform capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 Bin = Tuple[int, int]
 Edge = Tuple[Bin, Bin]

@@ -14,7 +14,7 @@ pins become AIG outputs), maps it, and re-attaches the registers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..logic.truthtable import TruthTable
 

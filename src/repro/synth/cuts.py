@@ -14,7 +14,7 @@ the behaviour the paper's FlowMap-based compaction then improves on.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..logic.truthtable import TruthTable
 from .aig import AIG, lit_inverted, lit_node

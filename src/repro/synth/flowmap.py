@@ -22,8 +22,8 @@ practical approximation that can only make labels conservative).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Set, Tuple
 
 Node = Hashable
 
@@ -79,10 +79,10 @@ class FlowMap:
         for node in nodes:
             indegree.setdefault(node, 0)
         for node, fanins in self.fanins.items():
-            count = 0
-            for fanin in set(fanins):
+            unique_fanins = dict.fromkeys(fanins)
+            for fanin in unique_fanins:
                 dependents.setdefault(fanin, []).append(node)
-            indegree[node] = len(set(fanins))
+            indegree[node] = len(unique_fanins)
         queue = deque(sorted((n for n, d in indegree.items() if d == 0), key=repr))
         order: List[Node] = []
         while queue:

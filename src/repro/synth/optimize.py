@@ -14,9 +14,9 @@ CSE; this module adds:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
-from .aig import AIG, lit_inverted, lit_node, lit_not
+from .aig import AIG, lit_inverted, lit_node
 from .cuts import cut_function, enumerate_cuts
 
 

@@ -220,7 +220,7 @@ def _offer_nd3_singles(builder: _TableBuilder, n: int) -> None:
     """Single ND3WI over any three positive leaf sources (ties allowed)."""
     cell = make_nd3wi()
     assert cell.feasible is not None
-    lits = [l for l in _literals(n) if not l.ref_builder[1]]
+    lits = [lit for lit in _literals(n) if not lit.ref_builder[1]]
     for a, b, c in itertools.product(lits, repeat=3):
         for config in cell.feasible:
             function = config.compose([a.table, b.table, c.table])
@@ -248,7 +248,7 @@ def _nd2_inner_options(n: int) -> List[Tuple[TruthTable, Tuple[str, TruthTable, 
     """Distinct ND2WI outputs over positive leaves, with their core step."""
     cell = make_nd2wi()
     assert cell.feasible is not None
-    lits = [l for l in _literals(n) if not l.ref_builder[1]]
+    lits = [lit for lit in _literals(n) if not lit.ref_builder[1]]
     seen: Dict[int, Tuple[TruthTable, Tuple[str, TruthTable, list]]] = {}
     for a, b in itertools.product(lits, repeat=2):
         for config in cell.feasible:
@@ -261,7 +261,7 @@ def _nd2_inner_options(n: int) -> List[Tuple[TruthTable, Tuple[str, TruthTable, 
 def _nd3_inner_options(n: int) -> List[Tuple[TruthTable, Tuple[str, TruthTable, list]]]:
     cell = make_nd3wi()
     assert cell.feasible is not None
-    lits = [l for l in _literals(n) if not l.ref_builder[1]]
+    lits = [lit for lit in _literals(n) if not lit.ref_builder[1]]
     seen: Dict[int, Tuple[TruthTable, Tuple[str, TruthTable, list]]] = {}
     for a, b, c in itertools.product(lits, repeat=3):
         for config in cell.feasible:
@@ -280,7 +280,7 @@ def _mux_inner_options(
     best: Dict[int, Tuple[TruthTable, Tuple[str, TruthTable, list], int]] = {}
     for s, d0, d1 in itertools.product(lits, repeat=3):
         function = _mux_tt(s.table, d0.table, d1.table)
-        n_inv = sum(1 for l in (s, d0, d1) if l.ref_builder[1])
+        n_inv = sum(1 for lit in (s, d0, d1) if lit.ref_builder[1])
         key = function.mask
         if key not in best or n_inv < best[key][2]:
             best[key] = (function, (cell_name, mux_fn, [s, d0, d1]), n_inv)
@@ -292,7 +292,7 @@ def _offer_two_gate_nand(builder: _TableBuilder) -> None:
     inner = _nd2_inner_options(3)
     cell = make_nd2wi()
     assert cell.feasible is not None
-    lits = [l for l in _literals(3) if not l.ref_builder[1]]
+    lits = [lit for lit in _literals(3) if not lit.ref_builder[1]]
     for inner_fn, inner_step in inner:
         for other in lits:
             for config in cell.feasible:
@@ -322,7 +322,8 @@ def _offer_ndmx(builder: _TableBuilder) -> None:
                     [s, other, ("core", 0)],
                 ):
                     tables = [
-                        l.table if isinstance(l, _Literal) else inner_fn for l in legs
+                        lit.table if isinstance(lit, _Literal) else inner_fn
+                        for lit in legs
                     ]
                     function = _mux_tt(*tables)
                     if len(function.support()) != 3:
@@ -354,7 +355,8 @@ def _offer_xoamx(builder: _TableBuilder, inner_cell: str = "XOA") -> None:
                     [s, other, ("core", 0)],
                 ):
                     tables = [
-                        l.table if isinstance(l, _Literal) else inner_fn for l in legs
+                        lit.table if isinstance(lit, _Literal) else inner_fn
+                        for lit in legs
                     ]
                     function = _mux_tt(*tables)
                     if len(function.support()) != 3:
@@ -371,9 +373,9 @@ def _offer_xoamx(builder: _TableBuilder, inner_cell: str = "XOA") -> None:
                 [s, ("inv-core", 0), ("core", 0)],
             ):
                 tables = [
-                    l.table if isinstance(l, _Literal) else
-                    (inner_fn if l[0] == "core" else ~inner_fn)
-                    for l in legs
+                    lit.table if isinstance(lit, _Literal) else
+                    (inner_fn if lit[0] == "core" else ~inner_fn)
+                    for lit in legs
                 ]
                 function = _mux_tt(*tables)
                 if len(function.support()) != 3:
@@ -400,11 +402,13 @@ def _offer_xoandmx(builder: _TableBuilder, inner_cell: str = "XOA") -> None:
                     [s, ("core", 1), ("core", 0)],
                 ):
                     tables = []
-                    for l in legs:
-                        if isinstance(l, _Literal):
-                            tables.append(l.table)
+                    for lit in legs:
+                        if isinstance(lit, _Literal):
+                            tables.append(lit.table)
                         else:
-                            tables.append(mux_fn_inner if l[1] == 0 else nd3_fn)
+                            tables.append(
+                                mux_fn_inner if lit[1] == 0 else nd3_fn
+                            )
                     function = _mux_tt(*tables)
                     if len(function.support()) != 3:
                         continue
@@ -418,7 +422,6 @@ def _offer_xoandmx(builder: _TableBuilder, inner_cell: str = "XOA") -> None:
 
 def _offer_lut3(builder: _TableBuilder, n: int) -> None:
     """Whole-function LUT3 collapse (LUT architecture only)."""
-    lut = make_lut3()
     for mask in range(1 << (1 << n)):
         function = TruthTable(n, mask)
         if len(function.support()) != n:

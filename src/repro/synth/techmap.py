@@ -15,14 +15,14 @@ boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..cells.celltypes import make_buf, make_dff, make_inv
+from ..cells.celltypes import make_dff
 from ..cells.library import Library
 from ..logic.truthtable import TruthTable
 from ..netlist.build import _const_cell
-from ..netlist.core import Netlist, NetlistError
-from .aig import AIG, lit_inverted, lit_node
+from ..netlist.core import Netlist
+from .aig import lit_inverted, lit_node
 from .cuts import Cut, cut_function, enumerate_cuts, fanout_counts
 from .from_netlist import CombCore, DFF_OUTPUT_PREFIX
 from .realize import Realization, baseline_table, compaction_table, lookup
@@ -131,7 +131,7 @@ def _build_netlist(
     inv_table = ~TruthTable.input_var(1, 0)
 
     for name in core.primary_inputs:
-        net_of_input = netlist.add_input(name)
+        netlist.add_input(name)
         # AIG input node ids follow insertion order: PIs then DFF Qs.
     # Recover input node ids by name.
     input_node_by_name = {name: i + 1 for i, name in enumerate(aig.input_names)}

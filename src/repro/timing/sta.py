@@ -14,7 +14,7 @@ average slack over the top 10 critical paths in the design."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cells.celltypes import DFF_CLK_TO_Q_NS, DFF_SETUP_NS
 from ..cells.characterize import TimingLibrary

@@ -16,7 +16,7 @@ which placement quality shows up in cycle time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 #: Wire capacitance per um, in unit loads.
 WIRE_CAP_PER_UM = 0.05

@@ -139,8 +139,8 @@ class TestOptimize:
         g = AIG()
         lits = [g.add_input(f"i{i}") for i in range(8)]
         acc = lits[0]
-        for l in lits[1:]:
-            acc = g.and2(acc, l)
+        for lit in lits[1:]:
+            acc = g.and2(acc, lit)
         g.add_output("y", acc)
         assert g.depth() == 7
         balanced = balance(g)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cells.celltypes import (
     CellType,
-    TAU_NS,
     make_buf,
     make_dff,
     make_inv,

@@ -1,0 +1,136 @@
+"""Unit tests for the findings model and rule registry."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    REGISTRY,
+    CheckError,
+    Finding,
+    Report,
+    Rule,
+    RuleRegistry,
+    Severity,
+    filter_findings,
+    rule_catalog,
+)
+
+
+def _finding(rule_id="NL001", severity=Severity.ERROR, loc="net x"):
+    return Finding(
+        rule_id=rule_id, severity=severity, location=loc,
+        message="boom", fix_hint="fix it", stage="netlist",
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_label(self):
+        assert Severity.ERROR.label == "error"
+
+    def test_parse(self):
+        assert Severity.parse("Warning") is Severity.WARNING
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestFinding:
+    def test_format_carries_rule_and_hint(self):
+        text = _finding().format()
+        assert "NL001" in text and "net x" in text and "fix it" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        d = json.loads(json.dumps(_finding().to_dict()))
+        assert d["rule"] == "NL001"
+        assert d["severity"] == "error"
+        assert d["location"] == "net x"
+
+
+class TestReport:
+    def test_severity_queries(self):
+        report = Report([
+            _finding(severity=Severity.INFO),
+            _finding(severity=Severity.WARNING),
+            _finding(severity=Severity.ERROR),
+        ])
+        assert len(report) == 3
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.at_least(Severity.WARNING)) == 2
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_empty_report_is_falsy(self):
+        assert not Report()
+        assert Report().format() == "no findings"
+
+    def test_format_sorts_errors_first(self):
+        report = Report([
+            _finding(rule_id="ZZ001", severity=Severity.INFO),
+            _finding(rule_id="AA001", severity=Severity.ERROR),
+        ])
+        lines = report.format().splitlines()
+        assert "AA001" in lines[0]
+
+    def test_to_json_shape(self):
+        doc = Report([_finding()]).to_json()
+        assert doc["counts"]["error"] == 1
+        assert doc["findings"][0]["rule"] == "NL001"
+
+    def test_sarif_document(self):
+        doc = Report([_finding()]).to_sarif(rule_catalog())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        result = run["results"][0]
+        assert result["ruleId"] == "NL001"
+        assert result["level"] == "error"
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "NL001" in ids and "DT001" in ids
+
+    def test_sarif_levels(self):
+        doc = Report([
+            _finding(severity=Severity.INFO),
+            _finding(severity=Severity.WARNING),
+        ]).to_sarif()
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["note", "warning"]
+
+
+class TestRegistry:
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register(Rule("XX001", Severity.ERROR, "netlist", "x"))
+        with pytest.raises(ValueError):
+            registry.register(Rule("XX001", Severity.ERROR, "netlist", "y"))
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(KeyError, match="NL001"):
+            REGISTRY.get("XY999")
+
+    def test_validate_selection(self):
+        assert REGISTRY.validate_selection(["NL001"]) == {"NL001"}
+        with pytest.raises(KeyError):
+            REGISTRY.validate_selection(["nope"])
+
+    def test_catalog_covers_every_family(self):
+        families = {r.rule_id[:2] for r in rule_catalog()}
+        assert families >= {"NL", "LB", "PK", "PL", "RT", "EQ", "DT"}
+
+    def test_error_capable_rule_count(self):
+        errors = [
+            r for r in rule_catalog() if r.severity is Severity.ERROR
+        ]
+        assert len(errors) >= 12
+
+    def test_filter_findings(self):
+        fs = [_finding("NL001"), _finding("NL002")]
+        assert filter_findings(fs, None) == fs
+        assert [f.rule_id for f in filter_findings(fs, {"NL002"})] == ["NL002"]
+
+
+class TestCheckError:
+    def test_str_cites_first_error(self):
+        err = CheckError(report=Report([_finding()]), context="ctx")
+        assert "ctx" in str(err) and "NL001" in str(err)

@@ -1,0 +1,547 @@
+"""Golden-findings tests: every rule id fires on a corrupted artifact.
+
+Each test deliberately corrupts one invariant in an otherwise-clean
+artifact and asserts that exactly the targeted rule reports it; clean
+artifacts must produce no error findings.  This is the proof that the
+analyzers actually detect the defect class they claim to.
+"""
+
+import copy
+from dataclasses import replace
+
+import pytest
+
+from repro.check import (
+    Severity,
+    check_equivalence,
+    check_netlist,
+    check_packing,
+    check_placement,
+    check_realization,
+    check_realization_table,
+    check_routing,
+    lint_source,
+)
+from repro.flow.flow import FlowOptions, run_design
+from repro.logic.truthtable import TruthTable
+from repro.netlist import NetlistBuilder
+from repro.pack.quadrisection import SlotAssignment
+from repro.route.grid import RoutingGrid
+from repro.route.pathfinder import RoutedNet, RoutingResult
+from repro.synth.realize import compaction_table
+
+from conftest import make_ripple_design
+
+FAST = FlowOptions(place_effort=0.05, place_iterations=1, pack_iterations=1)
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One full granular flow run whose artifacts the tests corrupt."""
+    src = make_ripple_design(width=6, name="checkfix")
+    return run_design(src, "granular", FAST)
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def two_gate_netlist():
+    b = NetlistBuilder("tg")
+    x = b.input("x")
+    y = b.input("y")
+    u = b.AND(x, y)
+    v = b.XOR(u, y)
+    b.output(v, "f")
+    return b.netlist
+
+
+def pin_of(inst, net_name):
+    return next(p for p, n in inst.pin_nets.items() if n == net_name)
+
+
+# ---------------------------------------------------------------------------
+# NL: netlist structure
+# ---------------------------------------------------------------------------
+class TestNetlistRules:
+    def test_clean_netlist_has_no_findings(self):
+        assert check_netlist(two_gate_netlist()) == []
+
+    def test_nl001_undriven_net(self):
+        n = two_gate_netlist()
+        n.add_net("floating")
+        assert "NL001" in rule_ids(check_netlist(n))
+
+    def test_nl002_driven_input(self):
+        n = two_gate_netlist()
+        driven = next(
+            name for name, net in n.nets.items() if net.driver is not None
+        )
+        n.nets[driven].is_input = True
+        assert "NL002" in rule_ids(check_netlist(n))
+
+    def test_nl003_broken_driver_ref(self):
+        n = two_gate_netlist()
+        driven = next(
+            name for name, net in n.nets.items() if net.driver is not None
+        )
+        n.nets[driven].driver = ("ghost", "Y")
+        assert "NL003" in rule_ids(check_netlist(n))
+
+    def test_nl004_broken_sink_ref(self):
+        n = two_gate_netlist()
+        n.nets["x"].sinks.append(("ghost", "A"))
+        assert "NL004" in rule_ids(check_netlist(n))
+
+    def test_nl005_pin_on_unknown_net(self):
+        n = two_gate_netlist()
+        inst = next(iter(n.instances.values()))
+        pin = next(iter(inst.pin_nets))
+        inst.pin_nets[pin] = "missing"
+        assert "NL005" in rule_ids(check_netlist(n))
+
+    def test_nl006_missing_output_net(self):
+        n = two_gate_netlist()
+        n.outputs.append("ghost")
+        assert "NL006" in rule_ids(check_netlist(n))
+
+    def test_nl007_combinational_cycle(self):
+        n = two_gate_netlist()
+        g_and = next(
+            i for i in n.instances.values()
+            if "x" in i.pin_nets.values()
+        )
+        # Rewire the AND's 'x' input to the XOR's output net (which
+        # consumes the AND's output): a two-gate loop with consistent
+        # back-references everywhere.
+        xor_out = next(
+            name for name, net in n.nets.items()
+            if net.driver is not None
+            and n.instances[net.driver[0]] is not g_and
+        )
+        pin = pin_of(g_and, "x")
+        n.nets["x"].sinks.remove((g_and.name, pin))
+        g_and.pin_nets[pin] = xor_out
+        n.nets[xor_out].sinks.append((g_and.name, pin))
+        assert "NL007" in rule_ids(check_netlist(n))
+
+    def test_nl008_multi_driven_net(self):
+        n = two_gate_netlist()
+        insts = list(n.instances.values())
+        out_pin = insts[1].cell.output_pin
+        insts[1].pin_nets[out_pin] = insts[0].output_net
+        assert "NL008" in rule_ids(check_netlist(n))
+
+    def test_nl009_missing_config(self, run):
+        n = run.synthesis.netlist.copy()
+        inst = next(
+            i for i in n.instances.values() if not i.is_sequential
+        )
+        inst.config = None
+        assert "NL009" in rule_ids(check_netlist(n))
+
+    def test_nl009_infeasible_config(self, run):
+        n = run.synthesis.netlist.copy()
+        inst = next(
+            i for i in n.instances.values()
+            if not i.is_sequential
+            and i.cell.feasible is not None
+            and i.config is not None
+        )
+        bad = TruthTable(inst.config.n_inputs, 0b01)
+        if bad in inst.cell.feasible:
+            bad = ~bad
+        assert bad not in inst.cell.feasible
+        inst.config = bad
+        assert "NL009" in rule_ids(check_netlist(n))
+
+    def test_nl010_dead_cone_is_warning(self):
+        b = NetlistBuilder("dead")
+        x = b.input("x")
+        y = b.input("y")
+        b.AND(x, y)                      # never consumed: dead cone
+        b.output(b.XOR(x, y), "f")
+        findings = check_netlist(b.netlist)
+        assert rule_ids(findings) == {"NL010"}
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# LB: realization tables
+# ---------------------------------------------------------------------------
+class TestLibraryRules:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return compaction_table("granular")
+
+    def test_clean_entry(self, table):
+        key = next(iter(sorted(table)))
+        assert check_realization(key, table[key]) == []
+
+    def test_lb001_key_function_mismatch(self, table):
+        key = next(k for k in sorted(table) if k[0] == 2)
+        wrong_key = (2, key[1] ^ 0b1111)
+        findings = check_realization(wrong_key, table[key])
+        assert "LB001" in rule_ids(findings)
+
+    def test_lb001_steps_compute_other_function(self, table):
+        # Flip one step's config to another feasible config of the same
+        # cell so only the composition check can catch it.
+        key = next(
+            k for k in sorted(table)
+            if k[0] == 2 and len(table[k].steps) == 1
+            and table[k].steps[0].config.n_inputs == 2
+        )
+        real = table[key]
+        step = real.steps[0]
+        corrupt = replace(real, steps=(
+            replace(step, config=step.config.flip_input(0)),
+        ))
+        assert "LB001" in rule_ids(check_realization(key, corrupt))
+
+    def test_lb002_unknown_cell(self, table):
+        key = next(iter(sorted(table)))
+        real = table[key]
+        corrupt = replace(real, steps=(
+            replace(real.steps[0], cell_name="BOGUS"),
+        ) + real.steps[1:])
+        assert "LB002" in rule_ids(check_realization(key, corrupt))
+
+    def test_lb002_out_of_range_ref(self, table):
+        key = next(
+            k for k in sorted(table)
+            if k[0] == 2 and len(table[k].steps) == 1
+        )
+        real = table[key]
+        step = real.steps[0]
+        corrupt = replace(real, steps=(
+            replace(step, refs=(("leaf", 7),) + step.refs[1:]),
+        ))
+        assert "LB002" in rule_ids(check_realization(key, corrupt))
+
+    def test_lb003_missing_coverage(self):
+        findings = check_realization_table(
+            {}, require_full_3input_coverage=True, label="empty",
+        )
+        assert "LB003" in rule_ids(findings)
+
+    def test_lb003_full_table_passes(self, table):
+        findings = check_realization_table(
+            table, require_full_3input_coverage=True, label="granular",
+        )
+        assert "LB003" not in rule_ids(findings)
+
+    def test_lb004_area_mismatch(self, table):
+        key = next(iter(sorted(table)))
+        corrupt = replace(table[key], area=table[key].area + 1.0)
+        findings = check_realization(key, corrupt)
+        assert "LB004" in rule_ids(findings)
+        assert all(
+            f.severity is Severity.WARNING
+            for f in findings if f.rule_id == "LB004"
+        )
+
+
+# ---------------------------------------------------------------------------
+# PK: packing legality
+# ---------------------------------------------------------------------------
+class TestPackingRules:
+    def test_clean_packing(self, run):
+        findings = check_packing(run.packed.netlist, run.packed.packing)
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+    def test_pk001_overfull_plb_and_pk006_pin_budget(self, run):
+        packing = copy.deepcopy(run.packed.packing)
+        # Pile every instance into PLB (0, 0), keeping each one's slot
+        # type, so only budgets are violated.
+        for name, a in packing.assignments.items():
+            packing.assignments[name] = SlotAssignment(
+                plb=(0, 0), slot=a.slot,
+            )
+        ids = rule_ids(check_packing(run.packed.netlist, packing))
+        assert "PK001" in ids
+        assert "PK006" in ids
+
+    def test_pk002_incompatible_slot(self, run):
+        packing = copy.deepcopy(run.packed.packing)
+        arch = packing.arch
+        name, a = next(iter(sorted(packing.assignments.items())))
+        cell = run.packed.netlist.instances[name].cell
+        bad_slot = next(
+            s for s in arch.slots if s not in arch.hosting_slots(cell.name)
+        )
+        packing.assignments[name] = SlotAssignment(plb=a.plb, slot=bad_slot)
+        assert "PK002" in rule_ids(
+            check_packing(run.packed.netlist, packing)
+        )
+
+    def test_pk003_out_of_array(self, run):
+        packing = copy.deepcopy(run.packed.packing)
+        name, a = next(iter(sorted(packing.assignments.items())))
+        packing.assignments[name] = SlotAssignment(
+            plb=(packing.cols + 5, 0), slot=a.slot,
+        )
+        assert "PK003" in rule_ids(
+            check_packing(run.packed.netlist, packing)
+        )
+
+    def test_pk004_missing_and_ghost_assignments(self, run):
+        packing = copy.deepcopy(run.packed.packing)
+        name, a = next(iter(sorted(packing.assignments.items())))
+        del packing.assignments[name]
+        packing.assignments["ghost"] = a
+        findings = check_packing(run.packed.netlist, packing)
+        pk004 = [f for f in findings if f.rule_id == "PK004"]
+        assert len(pk004) == 2
+
+    def test_pk005_non_nand_config_in_wi_slot(self, run):
+        netlist = run.packed.netlist.copy()
+        packing = copy.deepcopy(run.packed.packing)
+        name = next(
+            n for n, a in sorted(packing.assignments.items())
+            if a.slot in ("ND2WI", "ND3WI")
+            and netlist.instances[n].config is not None
+            and netlist.instances[n].config.n_inputs == 2
+        )
+        netlist.instances[name].config = TruthTable(2, 0b0110)  # XOR
+        assert "PK005" in rule_ids(check_packing(netlist, packing))
+
+
+# ---------------------------------------------------------------------------
+# PL: placement
+# ---------------------------------------------------------------------------
+class TestPlacementRules:
+    def test_clean_placement(self, run):
+        assert check_placement(
+            run.physical.netlist, run.physical.placement
+        ) == []
+
+    def test_pl001_site_outside_grid(self, run):
+        placement = copy.deepcopy(run.physical.placement)
+        name = next(iter(sorted(placement.sites)))
+        placement.sites[name] = (placement.grid.cols + 7, 0)
+        assert "PL001" in rule_ids(
+            check_placement(run.physical.netlist, placement)
+        )
+
+    def test_pl002_shared_site(self, run):
+        placement = copy.deepcopy(run.physical.placement)
+        a, b = sorted(placement.sites)[:2]
+        placement.sites[b] = placement.sites[a]
+        assert "PL002" in rule_ids(
+            check_placement(run.physical.netlist, placement)
+        )
+
+    def test_pl003_missing_and_ghost_sites(self, run):
+        placement = copy.deepcopy(run.physical.placement)
+        name = next(iter(sorted(placement.sites)))
+        placement.sites["ghost"] = placement.sites.pop(name)
+        findings = check_placement(run.physical.netlist, placement)
+        pl003 = [f for f in findings if f.rule_id == "PL003"]
+        assert len(pl003) == 2
+
+
+# ---------------------------------------------------------------------------
+# RT: routing
+# ---------------------------------------------------------------------------
+def _routed_case():
+    """A clean synthetic routing outcome: one 4-bin straight net."""
+    grid = RoutingGrid(cols=4, rows=4, bin_pitch=10.0, tracks=2)
+    bins = {(0, 0), (1, 0), (2, 0), (3, 0)}
+    edges = {((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (3, 0))}
+    result = RoutingResult(
+        grid=grid,
+        nets={"n1": RoutedNet(name="n1", bins=set(bins), edges=set(edges))},
+        iterations=1,
+        overused_edges=0,
+    )
+    net_points = {"n1": [(5.0, 5.0), (35.0, 5.0)]}
+    return result, net_points
+
+
+class TestRoutingRules:
+    def test_clean_routing(self):
+        result, points = _routed_case()
+        assert check_routing(result, points) == []
+
+    def test_clean_flow_routing(self, run):
+        points = run.packed.packing.net_pin_points(run.packed.netlist)
+        assert check_routing(run.flow_b.routing, points) == []
+
+    def test_rt001_residual_overuse(self):
+        result, points = _routed_case()
+        result.overused_edges = 3
+        assert "RT001" in rule_ids(check_routing(result, points))
+
+    def test_rt002_routed_net_without_pins(self):
+        result, points = _routed_case()
+        result.nets["ghost"] = RoutedNet(name="ghost", bins={(0, 0)})
+        assert "RT002" in rule_ids(check_routing(result, points))
+
+    def test_rt002_unrouted_multibin_net(self):
+        result, points = _routed_case()
+        del result.nets["n1"]
+        assert "RT002" in rule_ids(check_routing(result, points))
+
+    def test_rt003_terminal_not_covered(self):
+        result, points = _routed_case()
+        net = result.nets["n1"]
+        net.bins.discard((3, 0))
+        net.edges.discard(((2, 0), (3, 0)))
+        assert "RT003" in rule_ids(check_routing(result, points))
+
+    def test_rt003_disconnected_tree(self):
+        result, points = _routed_case()
+        result.nets["n1"].edges.discard(((1, 0), (2, 0)))
+        assert "RT003" in rule_ids(check_routing(result, points))
+
+    def test_rt004_non_adjacent_edge(self):
+        result, points = _routed_case()
+        result.nets["n1"].edges.add(((0, 0), (2, 2)))
+        assert "RT004" in rule_ids(check_routing(result, points))
+
+    def test_rt004_edge_off_grid(self):
+        result, points = _routed_case()
+        result.nets["n1"].edges.add(((3, 0), (4, 0)))
+        assert "RT004" in rule_ids(check_routing(result, points))
+
+
+# ---------------------------------------------------------------------------
+# EQ: formal equivalence
+# ---------------------------------------------------------------------------
+def _comb(name, fn):
+    b = NetlistBuilder(name)
+    x = b.input("x")
+    y = b.input("y")
+    b.output(fn(b, x, y), "f")
+    return b.netlist
+
+
+class TestEquivalenceRules:
+    def test_equivalent_pair_reports_exhaustive_info(self):
+        ref = _comb("ref", lambda b, x, y: b.AND(x, y))
+        impl = _comb("impl", lambda b, x, y: b.NOR(b.NOT(x), b.NOT(y)))
+        findings = check_equivalence(ref, impl)
+        assert rule_ids(findings) == {"EQ003"}
+        assert "exhaustive" in findings[0].message
+
+    def test_eq001_functional_mismatch(self):
+        ref = _comb("ref", lambda b, x, y: b.AND(x, y))
+        impl = _comb("impl", lambda b, x, y: b.OR(x, y))
+        assert "EQ001" in rule_ids(check_equivalence(ref, impl))
+
+    def test_eq002_port_mismatch(self):
+        ref = _comb("ref", lambda b, x, y: b.AND(x, y))
+        b = NetlistBuilder("impl")
+        x = b.input("x")
+        y = b.input("y")
+        z = b.input("z")
+        b.output(b.AND(x, b.AND(y, z)), "f")
+        assert rule_ids(check_equivalence(ref, b.netlist)) == {"EQ002"}
+
+    def test_wide_designs_fall_back_to_sampling(self):
+        def wide(name):
+            b = NetlistBuilder(name)
+            word = b.input_word("w", 10)
+            acc = word[0]
+            for bit in word[1:]:
+                acc = b.XOR(acc, bit)
+            b.output(acc, "f")
+            return b.netlist
+
+        findings = check_equivalence(wide("a"), wide("b"))
+        assert rule_ids(findings) == {"EQ003"}
+        assert "sampled" in findings[0].message
+
+    def test_flow_run_equivalence(self, run):
+        reference = run.synthesis.pre_compaction_netlist
+        assert reference is not None
+        findings = check_equivalence(reference, run.packed.netlist)
+        assert not any(f.severity is Severity.ERROR for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# DT: determinism self-lint
+# ---------------------------------------------------------------------------
+class TestSelfLint:
+    def test_dt001_global_rng(self):
+        src = "import random\nx = random.random()\n"
+        assert "DT001" in rule_ids(lint_source(src, "m.py"))
+
+    def test_dt001_unseeded_instance(self):
+        assert "DT001" in rule_ids(
+            lint_source("import random\nr = random.Random()\n", "m.py")
+        )
+        assert lint_source(
+            "import random\nr = random.Random(7)\n", "m.py"
+        ) == []
+
+    def test_dt001_unseeded_default_rng(self):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert "DT001" in rule_ids(lint_source(src, "m.py"))
+        assert lint_source(
+            "import numpy as np\ng = np.random.default_rng(3)\n", "m.py"
+        ) == []
+
+    def test_dt002_wall_clock(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert "DT002" in rule_ids(lint_source(src, "src/repro/flow/x.py"))
+
+    def test_dt002_obs_modules_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/obs/x.py") == []
+
+    def test_dt003_set_iteration(self):
+        assert "DT003" in rule_ids(
+            lint_source("for v in set(xs):\n    pass\n", "m.py")
+        )
+        assert "DT003" in rule_ids(
+            lint_source("ys = [v for v in {a for a in xs}]\n", "m.py")
+        )
+        assert "DT003" in rule_ids(
+            lint_source("ys = list(set(xs))\n", "m.py")
+        )
+
+    def test_dt003_sorted_is_clean(self):
+        assert lint_source(
+            "for v in sorted(set(xs)):\n    pass\n", "m.py"
+        ) == []
+        assert lint_source(
+            "for v in dict.fromkeys(xs):\n    pass\n", "m.py"
+        ) == []
+
+    def test_dt004_mutable_default(self):
+        src = "def f(a, b=[]):\n    return b\n"
+        findings = lint_source(src, "m.py")
+        assert rule_ids(findings) == {"DT004"}
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert lint_source("def f(a, b=()):\n    return b\n", "m.py") == []
+
+    def test_dt005_hash_outside_dunder(self):
+        assert "DT005" in rule_ids(
+            lint_source("k = hash((1, 2))\n", "m.py")
+        )
+        clean = (
+            "class C:\n"
+            "    def __hash__(self):\n"
+            "        return hash((1, 2))\n"
+        )
+        assert lint_source(clean, "m.py") == []
+
+    def test_suppression_comment(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # check: allow(DT002) timing report\n"
+        )
+        assert lint_source(src, "src/repro/flow/x.py") == []
+
+    def test_suppression_is_rule_specific(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # check: allow(DT001)\n"
+        )
+        assert "DT002" in rule_ids(lint_source(src, "src/repro/flow/x.py"))
+
+    def test_syntax_error_is_reported(self):
+        findings = lint_source("def broken(:\n", "m.py")
+        assert findings and findings[0].severity is Severity.ERROR

@@ -17,10 +17,8 @@ from repro.core.configs import (
     granular_configs,
     lut_arch_configs,
     mx_functions,
-    nd3_functions,
     ndmx_functions,
     xoamx_functions,
-    xoandmx_functions,
 )
 from repro.core.explorer import (
     CandidatePLB,
@@ -32,7 +30,6 @@ from repro.core.plb import (
     COMB_AREA_RATIO,
     PLB_AREA_RATIO,
     granular_plb,
-    lut_plb,
 )
 from repro.logic.truthtable import TruthTable, all_functions
 from repro.netlist.simulate import random_vectors, simulate

@@ -1,0 +1,57 @@
+"""The lint toolchain config shipped for CI (ruff/mypy/pyproject).
+
+ruff and mypy are CI-only tools; when they happen to be installed
+locally the tests below run them for real, otherwise they skip and only
+the configuration itself is validated.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+PYPROJECT = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+
+
+class TestConfigPresence:
+    def test_ruff_sections_exist(self):
+        assert "[tool.ruff]" in PYPROJECT
+        assert "[tool.ruff.lint]" in PYPROJECT
+
+    def test_mypy_is_strict_on_check_package(self):
+        assert "[tool.mypy]" in PYPROJECT
+        assert '"repro.check.*"' in PYPROJECT
+        assert "disallow_untyped_defs = true" in PYPROJECT
+
+    def test_ci_runs_lint_and_self_check(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(
+            encoding="utf-8"
+        )
+        assert "ruff check" in ci
+        assert "mypy" in ci
+        assert "check --self" in ci
+
+
+class TestToolsWhenAvailable:
+    @pytest.mark.skipif(
+        shutil.which("ruff") is None, reason="ruff not installed"
+    )
+    def test_ruff_clean(self):
+        proc = subprocess.run(
+            ["ruff", "check", "."],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.skipif(
+        shutil.which("mypy") is None, reason="mypy not installed"
+    )
+    def test_mypy_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -8,7 +8,6 @@ merges every worker's events into one coherent journal.
 
 import json
 
-import pytest
 
 from repro.flow.flow import run_design
 from repro.flow.options import FlowOptions

@@ -5,7 +5,6 @@ changes results, a cache hit is value-equal to a cold computation, and a
 corrupted cache entry is detected and recomputed rather than trusted.
 """
 
-import os
 import warnings
 
 import pytest
@@ -13,7 +12,6 @@ import pytest
 from repro.flow.cache import (
     CacheStats,
     NullCache,
-    StageCache,
     canonical_netlist,
     stable_hash,
 )

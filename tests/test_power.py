@@ -8,7 +8,6 @@ from repro.power.activity import estimate_activity, table_output_probability
 from repro.power.power import estimate_power
 from repro.timing.wires import WireModel
 
-from conftest import make_ripple_design
 
 
 class TestProbabilityPropagation:

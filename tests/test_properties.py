@@ -180,8 +180,6 @@ class TestBuilderProperties:
               suppress_health_check=[HealthCheck.too_slow])
     def test_mapping_equivalence_random_netlists(self, masks, seed):
         """Random capture netlists map equivalently on both architectures."""
-        import numpy as np
-
         from repro.cells.library import granular_plb_library, lut_plb_library
         from repro.netlist.build import NetlistBuilder
         from repro.netlist.simulate import outputs_equal

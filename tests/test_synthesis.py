@@ -11,7 +11,7 @@ from repro.synth.from_netlist import CombCore, extract_core
 from repro.synth.optimize import optimize
 from repro.synth.techmap import map_core
 
-from conftest import make_combinational_design, make_ripple_design
+from conftest import make_ripple_design
 
 
 def optimized_core(netlist, effort=1):
