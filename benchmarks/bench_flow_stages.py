@@ -18,6 +18,10 @@ Runnable directly as a wall-time regression guard::
 baseline in ``benchmarks/perf_baseline.json`` and exits nonzero when the
 cold time regresses more than 2x — a coarse tripwire for accidentally
 disabling the persistent realization tables or the array cost engine.
+The physical (SA placement) stage is additionally budgeted on its own,
+so a placement-kernel regression trips the guard even when the other
+stages mask it in the total.  ``--json PATH`` writes the measurements
+as JSON for CI artifact upload.
 """
 
 import argparse
@@ -121,6 +125,29 @@ def test_stage_placement(benchmark, stage_artifacts):
         rounds=1, iterations=1,
     )
     assert result.timing.critical_path_delay > 0
+
+
+@pytest.mark.parametrize("engine", ["array", "object"])
+def test_stage_placement_kernel(benchmark, stage_artifacts, engine):
+    """Raw SA move-kernel throughput (moves/s) for both cost engines.
+
+    Bypasses the cooling schedule: one fixed-temperature sweep through
+    :meth:`AnnealingPlacer.benchmark_kernel`, so the number isolates the
+    speculative-delta evaluate/commit path from the rest of the flow.
+    """
+    from repro.place.grid import grid_for_netlist
+    from repro.place.sa import AnnealingPlacer
+
+    compacted = stage_artifacts["compacted"]
+    placer = AnnealingPlacer(
+        compacted.copy(), grid_for_netlist(compacted), seed=3, engine=engine
+    )
+    stats = benchmark.pedantic(
+        lambda: placer.benchmark_kernel(KERNEL_MOVES), rounds=1, iterations=1
+    )
+    assert stats["evaluated"] > 0
+    print(f"\n{engine} engine: {stats['moves_per_s']:,.0f} moves/s "
+          f"({stats['evaluated']} evaluated, {stats['accepted']} accepted)")
 
 
 def test_stage_packing(benchmark, stage_artifacts):
@@ -258,23 +285,54 @@ def test_matrix_serial_vs_parallel_cold_vs_warm(
 SMOKE_CELL = ("alu", "granular")
 SMOKE_SCALE = 0.3
 SMOKE_MAX_REGRESSION = 2.0
+KERNEL_MOVES = 20000
 BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
 
 
-def _time_smoke_cell() -> float:
-    """Cold wall time of one (design, arch) cell in a throwaway cache dir.
+def _time_smoke_cell() -> dict:
+    """Cold wall times of one (design, arch) cell in a throwaway cache dir.
 
     A fresh ``REPRO_CACHE_DIR`` guarantees every stage — including the
     persisted realization tables — is computed, not loaded, so the
-    number tracks real kernel cost.
+    numbers track real kernel cost.  Returns the total wall time plus
+    the physical (SA placement) stage on its own, so placement
+    regressions are guarded independently of the rest of the flow.
     """
     design, arch = SMOKE_CELL
     netlist = build_design(design, scale=SMOKE_SCALE)
     with tempfile.TemporaryDirectory() as cache_dir:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
         start = time.perf_counter()
-        run_design(netlist, arch, PERF_OPTIONS)
-        return time.perf_counter() - start
+        run = run_design(netlist, arch, PERF_OPTIONS)
+        elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "physical_seconds": run.stage_seconds["physical"],
+        "placement": dict(getattr(run.physical, "placement_stats", None) or {}),
+    }
+
+
+def _kernel_throughput() -> dict:
+    """Moves/s of the raw SA move kernel for both cost engines."""
+    from repro.place.grid import grid_for_netlist
+    from repro.place.sa import AnnealingPlacer
+    from repro.synth.compaction import compact
+    from repro.synth.from_netlist import extract_core
+    from repro.synth.techmap import map_core
+
+    design, _arch = SMOKE_CELL
+    library = granular_plb_library()
+    core = extract_core(build_design(design, scale=SMOKE_SCALE))
+    mapped = map_core(core, ARCH, library)
+    compacted, _report = compact(mapped, ARCH, library)
+    out = {}
+    for engine in ("array", "object"):
+        placer = AnnealingPlacer(
+            compacted.copy(), grid_for_netlist(compacted),
+            seed=3, engine=engine,
+        )
+        out[engine] = placer.benchmark_kernel(KERNEL_MOVES)
+    return out
 
 
 def _traced_smoke_report(repeats: int = 3) -> None:
@@ -311,17 +369,40 @@ def _traced_smoke_report(repeats: int = 3) -> None:
               f"{hist.percentile(50):9.3f} {hist.percentile(95):9.3f}")
 
 
-def run_smoke(record: bool) -> int:
+def run_smoke(record: bool, json_path: str = None) -> int:
     design, arch = SMOKE_CELL
-    elapsed = _time_smoke_cell()
-    print(f"cold {design}/{arch} cell (scale {SMOKE_SCALE}): {elapsed:.2f} s")
+    measured = _time_smoke_cell()
+    elapsed = measured["seconds"]
+    physical = measured["physical_seconds"]
+    print(f"cold {design}/{arch} cell (scale {SMOKE_SCALE}): {elapsed:.2f} s "
+          f"(physical stage {physical:.2f} s, "
+          f"engine {measured['placement'].get('engine', '?')})")
+    kernel = _kernel_throughput()
+    for engine, stats in kernel.items():
+        print(f"{engine} kernel: {stats['moves_per_s']:,.0f} moves/s "
+              f"({KERNEL_MOVES} proposals)")
     _traced_smoke_report()
+    if json_path:
+        Path(json_path).write_text(json.dumps({
+            "design": design,
+            "arch": arch,
+            "scale": SMOKE_SCALE,
+            "seconds": round(elapsed, 3),
+            "physical_seconds": round(physical, 3),
+            "placement": measured["placement"],
+            "kernel_moves_per_s": {
+                engine: round(stats["moves_per_s"], 1)
+                for engine, stats in kernel.items()
+            },
+        }, indent=2) + "\n")
+        print(f"measurements written to {json_path}")
     if record:
         BASELINE_PATH.write_text(json.dumps({
             "design": design,
             "arch": arch,
             "scale": SMOKE_SCALE,
             "seconds": round(elapsed, 3),
+            "physical_seconds": round(physical, 3),
         }, indent=2) + "\n")
         print(f"baseline recorded to {BASELINE_PATH}")
         return 0
@@ -333,9 +414,24 @@ def run_smoke(record: bool) -> int:
     limit = baseline["seconds"] * SMOKE_MAX_REGRESSION
     print(f"baseline {baseline['seconds']:.2f} s, "
           f"limit {limit:.2f} s ({SMOKE_MAX_REGRESSION:.0f}x)")
+    failed = False
     if elapsed > limit:
         print(f"FAIL: cold cell time {elapsed:.2f} s exceeds {limit:.2f} s",
               file=sys.stderr)
+        failed = True
+    phys_base = baseline.get("physical_seconds")
+    if phys_base is not None:
+        phys_limit = phys_base * SMOKE_MAX_REGRESSION
+        print(f"placement baseline {phys_base:.2f} s, "
+              f"limit {phys_limit:.2f} s")
+        if physical > phys_limit:
+            print(f"FAIL: placement stage {physical:.2f} s exceeds "
+                  f"{phys_limit:.2f} s", file=sys.stderr)
+            failed = True
+    else:
+        print("note: baseline has no physical_seconds; "
+              "rerun with --record to guard the placement stage")
+    if failed:
         return 1
     print("OK: within budget")
     return 0
@@ -349,11 +445,14 @@ def main(argv=None) -> int:
                         help="time one cold cell against the recorded baseline")
     parser.add_argument("--record", action="store_true",
                         help="with --smoke: (re)write the baseline file")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="with --smoke: write measurements as JSON "
+                             "(for CI artifact upload)")
     args = parser.parse_args(argv)
     if not args.smoke:
         parser.error("run under pytest for the benchmarks, "
                      "or pass --smoke for the regression guard")
-    return run_smoke(record=args.record)
+    return run_smoke(record=args.record, json_path=args.json)
 
 
 if __name__ == "__main__":

@@ -94,6 +94,7 @@ def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
         arch=args.arch, seed=args.seed, place_effort=args.effort,
         jobs=args.jobs, use_cache=not args.no_cache,
         observe=args.trace, check=args.check,
+        sa_engine=args.sa_engine,
     )
     netlist = build_design(args.design, scale=args.scale)
     reporter.info(f"Running {args.design} (scale {args.scale}) on the "
@@ -354,6 +355,10 @@ def _add_flow_arguments(flow: argparse.ArgumentParser) -> None:
                       help="placement effort (1.0 = full anneal)")
     flow.add_argument("--jobs", type=int, default=1,
                       help="worker processes for matrix fan-out (1 = serial)")
+    flow.add_argument("--sa-engine", choices=["array", "object"],
+                      default=None, dest="sa_engine",
+                      help="annealer cost engine (default: $REPRO_SA_ENGINE "
+                           "or 'array'; results are bit-identical)")
     flow.add_argument("--no-cache", action="store_true",
                       help="bypass the content-addressed stage cache")
     flow.add_argument("--trace", action="store_true",

@@ -190,6 +190,11 @@ class DesignRun:
                 "total_area_um2": self.synthesis.stats.total_area,
                 "compaction_reduction": self.synthesis.compaction.reduction,
             },
+            # getattr: physical results unpickled from caches written
+            # before the field existed have no placement_stats.
+            "placement": dict(
+                getattr(self.physical, "placement_stats", None) or {}
+            ),
             "flow_a": flow_summary(self.flow_a),
             "flow_b": flow_summary(self.flow_b),
             "stage_seconds": dict(self.stage_seconds),
@@ -265,6 +270,7 @@ def _run_physical(synthesis: SynthesisResult, options: FlowOptions) -> PhysicalR
         seed=options.seed,
         iterations=options.place_iterations,
         effort=options.place_effort,
+        engine=options.sa_engine,
     )
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..timing.sta import DEFAULT_CLOCK_PERIOD_NS
 
@@ -34,6 +35,12 @@ class FlowOptions:
     every flow stage boundary (``--check`` on the CLI); a fatal finding
     aborts the run with :class:`repro.check.CheckError`.  Audits only
     read stage artifacts, so this too never changes computed results.
+
+    ``sa_engine`` selects the annealing cost engine (``"array"`` or
+    ``"object"``; ``None`` defers to ``$REPRO_SA_ENGINE``, then the
+    default ``"array"``).  Both engines are bit-identical — same float
+    sequence, same RNG stream, same placements — so like the other
+    performance knobs it is excluded from stage cache keys.
     """
 
     arch: str = "granular"
@@ -52,6 +59,7 @@ class FlowOptions:
     use_cache: bool = True
     observe: bool = False
     check: bool = False
+    sa_engine: Optional[str] = None
 
     def with_arch(self, arch: str) -> "FlowOptions":
         from dataclasses import replace

@@ -8,7 +8,7 @@ area and routability based on physical information".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from ..cells.characterize import TimingLibrary
@@ -33,6 +33,10 @@ class PhysicalResult:
     wires: WireModel
     timing: TimingReport
     buffers_added: int
+    #: Aggregated annealer counters across placement iterations
+    #: (engine name, temperatures, moves proposed/evaluated/accepted).
+    #: Purely informational — never part of design metrics.
+    placement_stats: Dict[str, object] = field(default_factory=dict)
 
 
 def net_criticalities(
@@ -60,11 +64,20 @@ def run_physical_synthesis(
     locked: Optional[Mapping[str, Site]] = None,
     grid: Optional[PlacementGrid] = None,
     effort: float = 1.0,
+    engine: Optional[str] = None,
 ) -> PhysicalResult:
-    """Place-and-optimize loop; mutates ``netlist`` (buffer insertion)."""
+    """Place-and-optimize loop; mutates ``netlist`` (buffer insertion).
+
+    ``engine`` picks the annealer cost engine (``None`` defers to
+    ``$REPRO_SA_ENGINE``, then ``"array"``); both engines produce
+    bit-identical placements, so it only affects wall time.
+    """
     weights: Dict[str, float] = {}
     buffers_added = 0
     placement: Optional[Placement] = None
+    stats: Dict[str, object] = {
+        "temperatures": 0, "proposed": 0, "evaluated": 0, "accepted": 0,
+    }
 
     for iteration in range(max(1, iterations)):
         work_grid = grid or grid_for_netlist(netlist)
@@ -75,8 +88,12 @@ def run_physical_synthesis(
             seed=seed + iteration,
             locked=locked,
             effort=effort,
+            engine=engine,
         )
         placement = placer.place()
+        stats["engine"] = placer.engine_name
+        for key in ("temperatures", "proposed", "evaluated", "accepted"):
+            stats[key] += int(placer.stats.get(key, 0))  # type: ignore[operator]
         wires = wire_model_from_placement(placement.net_pin_points(netlist))
         report = analyze(netlist, timing_library, wires, period=period)
         if iteration == max(1, iterations) - 1:
@@ -86,6 +103,7 @@ def run_physical_synthesis(
                 wires=wires,
                 timing=report,
                 buffers_added=buffers_added,
+                placement_stats=stats,
             )
         weights = net_criticalities(netlist, report)
         buffers_added += insert_buffers(netlist, library, placement)

@@ -20,14 +20,27 @@ Two interchangeable *cost engines* implement that bookkeeping:
   min/max/boundary-occupancy state and per-cell coordinates.  The
   per-temperature exact rebuild is evaluated for all nets at once
   (vectorized through numpy when available, a scalar loop over the
-  same flat layout otherwise), and the per-move path updates scalar
-  slots with no object allocation.
-* ``"object"`` — the legacy per-net :class:`_NetBox` objects.
+  same flat layout otherwise), and moves are evaluated *speculatively*:
+  :meth:`_ArrayCostEngine.evaluate_move` computes the exact delta from
+  the boundary-count state without mutating anything, staging candidate
+  per-net states in a scratch buffer that :meth:`_ArrayCostEngine.commit`
+  installs only when the move is accepted.  Rejected moves (half of all
+  proposals over a typical anneal) cost nothing beyond the evaluation —
+  there is no apply/undo churn and no saved-state tuple per move.  The
+  move loop also inlines the fixed-range ``getrandbits`` rejection
+  sampling that ``random.Random.randrange``/``randint`` perform
+  internally, so proposals skip the per-call argument checking while
+  drawing the exact same bit stream.
+* ``"object"`` — the legacy per-net :class:`_NetBox` objects with the
+  original optimistic apply/undo move path; retained as the oracle the
+  fast engine is asserted against.
 
-Both engines perform the identical sequence of float operations, so
-costs, acceptance decisions, and final placements are bit-identical
-(asserted by the test suite); select with ``AnnealingPlacer(engine=...)``
-or the ``REPRO_SA_ENGINE`` environment variable.
+Both engines perform the identical sequence of float operations and RNG
+draws, so costs, acceptance decisions, final placements, and the RNG
+stream position are bit-identical (asserted by the test suite); select
+with ``AnnealingPlacer(engine=...)``, the ``REPRO_SA_ENGINE``
+environment variable, or ``FlowOptions(sa_engine=...)`` at the flow
+level.
 
 The placer is deterministic for a given seed — including across
 processes: per-move cost deltas are summed in a fixed net order derived
@@ -172,9 +185,15 @@ class _NetBox:
 
 
 class _ObjectCostEngine:
-    """The legacy cost path: one ``_NetBox`` per net, dict-keyed state."""
+    """The legacy cost path: one ``_NetBox`` per net, dict-keyed state.
+
+    Moves are applied optimistically (``apply_move``) and rolled back on
+    rejection (``undo``); the placer drives it through the legacy
+    apply/undo loop (``speculative = False``).
+    """
 
     name = "object"
+    speculative = False
 
     def __init__(self, placer: "AnnealingPlacer", sites: Dict[str, Site]):
         self.placer = placer
@@ -277,7 +296,7 @@ class _ObjectCostEngine:
 
 
 class _ArrayCostEngine:
-    """Flat-array cost state: no per-move object churn, batched rebuilds.
+    """Flat-array cost state with speculative (read-only) move deltas.
 
     Per-net bounding boxes and boundary-occupancy counts live in
     flat preallocated arrays indexed by a dense net index; per-cell
@@ -285,12 +304,20 @@ class _ArrayCostEngine:
     index.  The per-temperature exact rebuild evaluates every net at
     once — ``numpy`` min/max/count reductions over a flattened
     point-membership layout when available, a scalar loop over the same
-    flat arrays otherwise — and the per-move path touches only plain
-    float/int slots.  Every arithmetic operation mirrors the object
-    engine exactly, so results are bit-identical.
+    flat arrays otherwise.
+
+    The move path is speculative: :meth:`evaluate_move` computes the
+    exact wirelength delta of a proposed move from the boundary-count
+    state *without mutating it*, staging each touched net's candidate
+    box/cost in a reused scratch buffer; :meth:`commit` installs the
+    staged state only when the move is accepted, and a rejected move
+    needs no rollback at all.  Every arithmetic operation mirrors the
+    object engine's optimistic apply/undo path exactly, so results are
+    bit-identical.
     """
 
     name = "array"
+    speculative = True
 
     def __init__(self, placer: "AnnealingPlacer", sites: Dict[str, Site]):
         self.placer = placer
@@ -383,54 +410,132 @@ class _ArrayCostEngine:
             self._np_sizes = _np.diff(_np.asarray(offsets, dtype=_np.int64))
             self._np_weight = _np.asarray(self.weight)
 
-        # Undo scratch (filled by apply_move).
-        self._saved: List[Tuple[int, float, float, float, float, float,
-                                int, int, int, int]] = []
-        self._last_pos: Tuple = ()
+        # Nets with exactly two points take a branch instead of the
+        # min/max/count scan in the speculative rebuild (any move of one
+        # endpoint empties a boundary, so they dominate rebuilds).
+        self.two_point = [
+            len(self.members[k]) + (0 if self.pad_of[k] is None else 1) == 2
+            for k in range(m)
+        ]
+
+        # Speculation scratch (filled by evaluate_move, installed by
+        # commit).  ``_pending`` holds one reused 10-slot list per
+        # touched net: [net index, staged cost, xmin, xmax, ymin, ymax,
+        # n_xmin, n_xmax, n_ymin, n_ymax].  ``_touched``/``_slot_of``
+        # implement an epoch-stamped net -> pending-slot map so a swap
+        # whose two cells share a net merges into one entry without any
+        # per-move dict allocation.
+        self._pending: List[List] = []
+        self._pending_move: Tuple = ()
+        self._touched = [0] * m
+        self._slot_of = [0] * m
+        self._epoch = 0
+        self._refresh_hot()
+
+    def _refresh_hot(self) -> None:
+        """Rebind the unpack-once hot-state tuple.
+
+        ``evaluate_move``/``commit`` unpack every per-net array from one
+        tuple instead of paying ~20 attribute loads per call.  The numpy
+        rebuild path replaces the box/cost lists wholesale, so it calls
+        this after swapping them in.
+        """
+        self._hot = (
+            self.pos_x, self.pos_y, self.col_x, self.row_y,
+            self.xmin, self.xmax, self.ymin, self.ymax,
+            self.n_xmin, self.n_xmax, self.n_ymin, self.n_ymax,
+            self.weight, self.cost, self.members, self.pad_of,
+            self.two_point, self.contrib, self.index_of,
+            self._pending, self._touched, self._slot_of,
+        )
 
     # -- exact state -----------------------------------------------------
-    def _rebuild_net(self, k: int) -> None:
-        """Exact box for one net from the flat point membership."""
+    def _spec_box(
+        self, k: int
+    ) -> Tuple[float, float, float, float, int, int, int, int]:
+        """Exact box of net ``k`` from the stored flat positions.
+
+        A single pass over the net's presorted member-index list
+        replaces the per-call ``xs``/``ys`` list comprehensions the old
+        rebuild paid — the running min/max/boundary counts equal
+        ``min()``/``max()``/``count()`` over the same point multiset bit
+        for bit.  ``evaluate_move`` stages candidate coordinates in the
+        position arrays (restoring on return), so this scan serves both
+        the committed and the speculative state with no per-member
+        substitution tests.
+        """
         pos_x, pos_y = self.pos_x, self.pos_y
         members = self.members[k]
-        xs = [pos_x[i] for i in members]
-        ys = [pos_y[i] for i in members]
         pad = self.pad_of[k]
+        it = iter(members)
+        i = next(it)
+        x = pos_x[i]
+        y = pos_y[i]
+        if self.two_point[k]:
+            if pad is None:
+                i = members[1]
+                x1 = pos_x[i]
+                y1 = pos_y[i]
+            else:
+                x1, y1 = pad
+            if x <= x1:
+                xmin, xmax = x, x1
+            else:
+                xmin, xmax = x1, x
+            n_x = 2 if x == x1 else 1
+            if y <= y1:
+                ymin, ymax = y, y1
+            else:
+                ymin, ymax = y1, y
+            n_y = 2 if y == y1 else 1
+            return (xmin, xmax, ymin, ymax, n_x, n_x, n_y, n_y)
+        xmin = xmax = x
+        ymin = ymax = y
+        n_xmin = n_xmax = n_ymin = n_ymax = 1
+        for i in it:
+            x = pos_x[i]
+            y = pos_y[i]
+            if x > xmax:
+                xmax, n_xmax = x, 1
+            elif x == xmax:
+                n_xmax += 1
+            if x < xmin:
+                xmin, n_xmin = x, 1
+            elif x == xmin:
+                n_xmin += 1
+            if y > ymax:
+                ymax, n_ymax = y, 1
+            elif y == ymax:
+                n_ymax += 1
+            if y < ymin:
+                ymin, n_ymin = y, 1
+            elif y == ymin:
+                n_ymin += 1
         if pad is not None:
-            xs.append(pad[0])
-            ys.append(pad[1])
-        if len(xs) == 2:
-            # Two-point nets dominate rebuilds (any move of one endpoint
-            # empties a boundary) — branch instead of min/max/count.
-            x0, x1 = xs
-            y0, y1 = ys
-            if x0 <= x1:
-                self.xmin[k] = x0
-                self.xmax[k] = x1
-            else:
-                self.xmin[k] = x1
-                self.xmax[k] = x0
-            self.n_xmin[k] = self.n_xmax[k] = 2 if x0 == x1 else 1
-            if y0 <= y1:
-                self.ymin[k] = y0
-                self.ymax[k] = y1
-            else:
-                self.ymin[k] = y1
-                self.ymax[k] = y0
-            self.n_ymin[k] = self.n_ymax[k] = 2 if y0 == y1 else 1
-            return
-        xmin = min(xs)
-        xmax = max(xs)
-        ymin = min(ys)
-        ymax = max(ys)
-        self.xmin[k] = xmin
-        self.xmax[k] = xmax
-        self.ymin[k] = ymin
-        self.ymax[k] = ymax
-        self.n_xmin[k] = xs.count(xmin)
-        self.n_xmax[k] = xs.count(xmax)
-        self.n_ymin[k] = ys.count(ymin)
-        self.n_ymax[k] = ys.count(ymax)
+            x, y = pad
+            if x > xmax:
+                xmax, n_xmax = x, 1
+            elif x == xmax:
+                n_xmax += 1
+            if x < xmin:
+                xmin, n_xmin = x, 1
+            elif x == xmin:
+                n_xmin += 1
+            if y > ymax:
+                ymax, n_ymax = y, 1
+            elif y == ymax:
+                n_ymax += 1
+            if y < ymin:
+                ymin, n_ymin = y, 1
+            elif y == ymin:
+                n_ymin += 1
+        return (xmin, xmax, ymin, ymax, n_xmin, n_xmax, n_ymin, n_ymax)
+
+    def _rebuild_net(self, k: int) -> None:
+        """Exact box for one net from the stored flat positions."""
+        (self.xmin[k], self.xmax[k], self.ymin[k], self.ymax[k],
+         self.n_xmin[k], self.n_xmax[k], self.n_ymin[k],
+         self.n_ymax[k]) = self._spec_box(k)
 
     def rebuild(self) -> float:
         """Batched exact recompute of every net's box; returns the total.
@@ -467,6 +572,7 @@ class _ArrayCostEngine:
             self.n_ymax = n_ymax.tolist()
             costs = cost.tolist()
             self.cost = costs
+            self._refresh_hot()
             total = 0.0
             for c in costs:
                 total += c
@@ -485,45 +591,140 @@ class _ArrayCostEngine:
         return {net: self.cost[k] for net, k in self.net_index.items()}
 
     # -- move path -------------------------------------------------------
-    def apply_move(
-        self, mover: str, other: Optional[str], old_site: Site, new_site: Site
+    def evaluate_move(
+        self, mover: str, other: Optional[str], new_site: Site
     ) -> float:
-        """Array mirror of the object engine's incremental move update."""
-        mi = self.index_of[mover]
-        old_x = self.pos_x[mi]
-        old_y = self.pos_y[mi]
-        new_x = self.col_x[new_site[0]]
-        new_y = self.row_y[new_site[1]]
-        self.pos_x[mi] = new_x
-        self.pos_y[mi] = new_y
-        oi = -1
+        """Speculative exact delta for moving ``mover`` to ``new_site``.
+
+        Performs the identical per-net float operations the object
+        engine's apply path does — boundary add/remove updates in
+        first-touch net order, an exact rebuild when a boundary empties —
+        but commits nothing: candidate coordinates are staged in the
+        position arrays for the duration of the call (restored before
+        returning) so box scans need no per-member substitution tests,
+        and candidate box states go to the reused ``_pending`` buffer,
+        installed by :meth:`commit` on accept.  Rejection needs no work
+        at all.
+        """
+        (pos_x, pos_y, col_x, row_y,
+         s_xmin, s_xmax, s_ymin, s_ymax,
+         s_n_xmin, s_n_xmax, s_n_ymin, s_n_ymax,
+         weight, s_cost, members_of, pad_of, two_point, contrib,
+         index_of, pending, touched, slot_of) = self._hot
+        mi = index_of[mover]
+        old_x = pos_x[mi]
+        old_y = pos_y[mi]
+        new_x = col_x[new_site[0]]
+        new_y = row_y[new_site[1]]
         if other is not None:
-            oi = self.index_of[other]
-            self.pos_x[oi] = old_x
-            self.pos_y[oi] = old_y
-        self._last_pos = (mi, oi, old_x, old_y, new_x, new_y)
+            oi = index_of[other]
+            pos_x[oi] = old_x
+            pos_y[oi] = old_y
+        else:
+            oi = -1
+        pos_x[mi] = new_x
+        pos_y[mi] = new_y
+        self._pending_move = (mi, oi, old_x, old_y, new_x, new_y)
 
-        # Relocations per net in first-touch order (mover, then other).
-        changes: Dict[int, List[Tuple[float, float, float, float, int]]] = {}
-        for k, count in self.contrib[mi]:
-            changes.setdefault(k, []).append((old_x, old_y, new_x, new_y, count))
-        if oi >= 0:
-            for k, count in self.contrib[oi]:
-                changes.setdefault(k, []).append((new_x, new_y, old_x, old_y, count))
+        del pending[:]
+        append = pending.append
+        n_pending = 0
+        epoch = self._epoch = self._epoch + 1
 
-        s_xmin = self.xmin
-        s_xmax = self.xmax
-        s_ymin = self.ymin
-        s_ymax = self.ymax
-        s_n_xmin = self.n_xmin
-        s_n_xmax = self.n_xmax
-        s_n_ymin = self.n_ymin
-        s_n_ymax = self.n_ymax
-        s_cost = self.cost
-        s_weight = self.weight
-        delta = 0.0
-        saved = []
-        for k, moves in changes.items():
+        # Mover's nets: relocate (old -> new), one staged entry per net.
+        # Two-point nets (the dominant class — moving either endpoint
+        # almost always empties a boundary) skip the add/remove dance
+        # entirely: with the candidate coordinates already staged in the
+        # position arrays, their exact post-move box is two direct
+        # reads, bit-identical to what the incremental update (or the
+        # rebuild it triggers) produces.
+        for k, count in contrib[mi]:
+            if two_point[k]:
+                members = members_of[k]
+                x0 = pos_x[members[0]]
+                y0 = pos_y[members[0]]
+                pad = pad_of[k]
+                if pad is None:
+                    i = members[1]
+                    x1 = pos_x[i]
+                    y1 = pos_y[i]
+                else:
+                    x1, y1 = pad
+                if x0 <= x1:
+                    xmin, xmax = x0, x1
+                else:
+                    xmin, xmax = x1, x0
+                n_x = 2 if x0 == x1 else 1
+                if y0 <= y1:
+                    ymin, ymax = y0, y1
+                else:
+                    ymin, ymax = y1, y0
+                n_y = 2 if y0 == y1 else 1
+                touched[k] = epoch
+                slot_of[k] = n_pending
+                n_pending += 1
+                append([k, True, xmin, xmax, ymin, ymax,
+                                n_x, n_x, n_y, n_y])
+                continue
+            if count == 1:
+                xmax = s_xmax[k]
+                xmin = s_xmin[k]
+                ymax = s_ymax[k]
+                ymin = s_ymin[k]
+                # Removing the mover's point empties a boundary exactly
+                # when it holds that boundary alone and the added point
+                # doesn't re-cover it — a closed-form test, so the
+                # boundary-count update is skipped outright for nets
+                # headed to an exact rebuild, and nets that pass run it
+                # with no emptiness bookkeeping at all.
+                if (
+                    (old_x == xmax and s_n_xmax[k] == 1 and new_x < old_x)
+                    or (old_x == xmin and s_n_xmin[k] == 1 and new_x > old_x)
+                    or (old_y == ymax and s_n_ymax[k] == 1 and new_y < old_y)
+                    or (old_y == ymin and s_n_ymin[k] == 1 and new_y > old_y)
+                ):
+                    touched[k] = epoch
+                    slot_of[k] = n_pending
+                    n_pending += 1
+                    append([k, False, 0.0, 0.0, 0.0, 0.0,
+                                    0, 0, 0, 0])
+                    continue
+                n_xmin = s_n_xmin[k]
+                n_xmax = s_n_xmax[k]
+                n_ymin = s_n_ymin[k]
+                n_ymax = s_n_ymax[k]
+                # add (new_x, new_y)
+                if new_x > xmax:
+                    xmax, n_xmax = new_x, 1
+                elif new_x == xmax:
+                    n_xmax += 1
+                if new_x < xmin:
+                    xmin, n_xmin = new_x, 1
+                elif new_x == xmin:
+                    n_xmin += 1
+                if new_y > ymax:
+                    ymax, n_ymax = new_y, 1
+                elif new_y == ymax:
+                    n_ymax += 1
+                if new_y < ymin:
+                    ymin, n_ymin = new_y, 1
+                elif new_y == ymin:
+                    n_ymin += 1
+                # remove (old_x, old_y) — guaranteed not to empty
+                if old_x == xmax:
+                    n_xmax -= 1
+                if old_x == xmin:
+                    n_xmin -= 1
+                if old_y == ymax:
+                    n_ymax -= 1
+                if old_y == ymin:
+                    n_ymin -= 1
+                touched[k] = epoch
+                slot_of[k] = n_pending
+                n_pending += 1
+                append([k, True, xmin, xmax, ymin, ymax,
+                                n_xmin, n_xmax, n_ymin, n_ymax])
+                continue
             xmin = s_xmin[k]
             xmax = s_xmax[k]
             ymin = s_ymin[k]
@@ -532,82 +733,259 @@ class _ArrayCostEngine:
             n_xmax = s_n_xmax[k]
             n_ymin = s_n_ymin[k]
             n_ymax = s_n_ymax[k]
-            old_cost = s_cost[k]
-            saved.append((k, old_cost, xmin, xmax, ymin, ymax,
-                          n_xmin, n_xmax, n_ymin, n_ymax))
             intact = True
-            for fx, fy, tx, ty, count in moves:
-                for _ in range(count):
-                    # add (tx, ty)
-                    if tx > xmax:
-                        xmax, n_xmax = tx, 1
-                    elif tx == xmax:
+            for _ in range(count):
+                # add (new_x, new_y)
+                if new_x > xmax:
+                    xmax, n_xmax = new_x, 1
+                elif new_x == xmax:
+                    n_xmax += 1
+                if new_x < xmin:
+                    xmin, n_xmin = new_x, 1
+                elif new_x == xmin:
+                    n_xmin += 1
+                if new_y > ymax:
+                    ymax, n_ymax = new_y, 1
+                elif new_y == ymax:
+                    n_ymax += 1
+                if new_y < ymin:
+                    ymin, n_ymin = new_y, 1
+                elif new_y == ymin:
+                    n_ymin += 1
+                # remove (old_x, old_y); an emptied boundary invalidates
+                # the box (exact rebuild at finalization)
+                if old_x == xmax:
+                    n_xmax -= 1
+                    intact = intact and n_xmax > 0
+                if old_x == xmin:
+                    n_xmin -= 1
+                    intact = intact and n_xmin > 0
+                if old_y == ymax:
+                    n_ymax -= 1
+                    intact = intact and n_ymax > 0
+                if old_y == ymin:
+                    n_ymin -= 1
+                    intact = intact and n_ymin > 0
+            touched[k] = epoch
+            slot_of[k] = n_pending
+            n_pending += 1
+            append([k, intact, xmin, xmax, ymin, ymax,
+                            n_xmin, n_xmax, n_ymin, n_ymax])
+
+        # Other's nets: relocate (new -> old); a net shared with the
+        # mover continues from its staged state so the relocation
+        # sequence matches the apply path's merged per-net move list.
+        if oi >= 0:
+            for k, count in contrib[oi]:
+                if two_point[k]:
+                    # Shared with the mover: pass 1 already staged the
+                    # exact final box.
+                    if touched[k] == epoch:
+                        continue
+                    members = members_of[k]
+                    x0 = pos_x[members[0]]
+                    y0 = pos_y[members[0]]
+                    pad = pad_of[k]
+                    if pad is None:
+                        i = members[1]
+                        x1 = pos_x[i]
+                        y1 = pos_y[i]
+                    else:
+                        x1, y1 = pad
+                    if x0 <= x1:
+                        xmin, xmax = x0, x1
+                    else:
+                        xmin, xmax = x1, x0
+                    n_x = 2 if x0 == x1 else 1
+                    if y0 <= y1:
+                        ymin, ymax = y0, y1
+                    else:
+                        ymin, ymax = y1, y0
+                    n_y = 2 if y0 == y1 else 1
+                    touched[k] = epoch
+                    slot_of[k] = n_pending
+                    n_pending += 1
+                    append([k, True, xmin, xmax, ymin, ymax,
+                                    n_x, n_x, n_y, n_y])
+                    continue
+                if touched[k] == epoch:
+                    # Shared with the mover (rare): continue from the
+                    # staged state so the relocation sequence matches
+                    # the apply path's merged per-net move list.  An
+                    # invalidated placeholder stays invalidated; its
+                    # values are garbage until the finalize rebuild.
+                    ent = pending[slot_of[k]]
+                    (_k, intact, xmin, xmax, ymin, ymax,
+                     n_xmin, n_xmax, n_ymin, n_ymax) = ent
+                elif count == 1:
+                    xmax = s_xmax[k]
+                    xmin = s_xmin[k]
+                    ymax = s_ymax[k]
+                    ymin = s_ymin[k]
+                    # Same closed-form boundary-emptiness test as pass
+                    # 1, with the relocation reversed (add old, remove
+                    # new).
+                    if (
+                        (new_x == xmax and s_n_xmax[k] == 1
+                         and old_x < new_x)
+                        or (new_x == xmin and s_n_xmin[k] == 1
+                            and old_x > new_x)
+                        or (new_y == ymax and s_n_ymax[k] == 1
+                            and old_y < new_y)
+                        or (new_y == ymin and s_n_ymin[k] == 1
+                            and old_y > new_y)
+                    ):
+                        touched[k] = epoch
+                        slot_of[k] = n_pending
+                        n_pending += 1
+                        append([k, False, 0.0, 0.0, 0.0, 0.0,
+                                        0, 0, 0, 0])
+                        continue
+                    n_xmin = s_n_xmin[k]
+                    n_xmax = s_n_xmax[k]
+                    n_ymin = s_n_ymin[k]
+                    n_ymax = s_n_ymax[k]
+                    # add (old_x, old_y)
+                    if old_x > xmax:
+                        xmax, n_xmax = old_x, 1
+                    elif old_x == xmax:
                         n_xmax += 1
-                    if tx < xmin:
-                        xmin, n_xmin = tx, 1
-                    elif tx == xmin:
+                    if old_x < xmin:
+                        xmin, n_xmin = old_x, 1
+                    elif old_x == xmin:
                         n_xmin += 1
-                    if ty > ymax:
-                        ymax, n_ymax = ty, 1
-                    elif ty == ymax:
+                    if old_y > ymax:
+                        ymax, n_ymax = old_y, 1
+                    elif old_y == ymax:
                         n_ymax += 1
-                    if ty < ymin:
-                        ymin, n_ymin = ty, 1
-                    elif ty == ymin:
+                    if old_y < ymin:
+                        ymin, n_ymin = old_y, 1
+                    elif old_y == ymin:
                         n_ymin += 1
-                    # remove (fx, fy); a boundary hitting zero occupancy
-                    # invalidates the box (exact rebuild below)
-                    if fx == xmax:
+                    # remove (new_x, new_y) — guaranteed not to empty
+                    if new_x == xmax:
+                        n_xmax -= 1
+                    if new_x == xmin:
+                        n_xmin -= 1
+                    if new_y == ymax:
+                        n_ymax -= 1
+                    if new_y == ymin:
+                        n_ymin -= 1
+                    touched[k] = epoch
+                    slot_of[k] = n_pending
+                    n_pending += 1
+                    append([k, True, xmin, xmax, ymin, ymax,
+                                    n_xmin, n_xmax, n_ymin, n_ymax])
+                    continue
+                else:
+                    ent = None
+                    xmin = s_xmin[k]
+                    xmax = s_xmax[k]
+                    ymin = s_ymin[k]
+                    ymax = s_ymax[k]
+                    n_xmin = s_n_xmin[k]
+                    n_xmax = s_n_xmax[k]
+                    n_ymin = s_n_ymin[k]
+                    n_ymax = s_n_ymax[k]
+                    intact = True
+                for _ in range(count):
+                    # add (old_x, old_y)
+                    if old_x > xmax:
+                        xmax, n_xmax = old_x, 1
+                    elif old_x == xmax:
+                        n_xmax += 1
+                    if old_x < xmin:
+                        xmin, n_xmin = old_x, 1
+                    elif old_x == xmin:
+                        n_xmin += 1
+                    if old_y > ymax:
+                        ymax, n_ymax = old_y, 1
+                    elif old_y == ymax:
+                        n_ymax += 1
+                    if old_y < ymin:
+                        ymin, n_ymin = old_y, 1
+                    elif old_y == ymin:
+                        n_ymin += 1
+                    # remove (new_x, new_y)
+                    if new_x == xmax:
                         n_xmax -= 1
                         intact = intact and n_xmax > 0
-                    if fx == xmin:
+                    if new_x == xmin:
                         n_xmin -= 1
                         intact = intact and n_xmin > 0
-                    if fy == ymax:
+                    if new_y == ymax:
                         n_ymax -= 1
                         intact = intact and n_ymax > 0
-                    if fy == ymin:
+                    if new_y == ymin:
                         n_ymin -= 1
                         intact = intact and n_ymin > 0
-            if intact:
-                s_xmin[k] = xmin
-                s_xmax[k] = xmax
-                s_ymin[k] = ymin
-                s_ymax[k] = ymax
-                s_n_xmin[k] = n_xmin
-                s_n_xmax[k] = n_xmax
-                s_n_ymin[k] = n_ymin
-                s_n_ymax[k] = n_ymax
+                if ent is not None:
+                    ent[1] = intact
+                    ent[2] = xmin
+                    ent[3] = xmax
+                    ent[4] = ymin
+                    ent[5] = ymax
+                    ent[6] = n_xmin
+                    ent[7] = n_xmax
+                    ent[8] = n_ymin
+                    ent[9] = n_ymax
+                else:
+                    touched[k] = epoch
+                    slot_of[k] = n_pending
+                    n_pending += 1
+                    append([k, intact, xmin, xmax, ymin, ymax,
+                                    n_xmin, n_xmax, n_ymin, n_ymax])
+
+        # Cost deltas in first-touch order; invalidated boxes get an
+        # exact rebuild over the staged candidate coordinates.  Slot 1
+        # of each entry is repurposed from the intact flag to the staged
+        # new cost for commit.
+        spec_box = self._spec_box
+        delta = 0.0
+        for ent in pending:
+            k = ent[0]
+            if ent[1]:
+                cost = weight[k] * ((ent[3] - ent[2]) + (ent[5] - ent[4]))
             else:
-                self._rebuild_net(k)
-                xmin = s_xmin[k]
-                xmax = s_xmax[k]
-                ymin = s_ymin[k]
-                ymax = s_ymax[k]
-            cost = s_weight[k] * ((xmax - xmin) + (ymax - ymin))
-            delta += cost - old_cost
-            s_cost[k] = cost
-        self._saved = saved
+                box = spec_box(k)
+                ent[2:10] = box
+                cost = weight[k] * ((box[1] - box[0]) + (box[3] - box[2]))
+            delta += cost - s_cost[k]
+            ent[1] = cost
+
+        # Restore the committed coordinates; commit() re-installs the
+        # candidate ones on accept.
+        pos_x[mi] = old_x
+        pos_y[mi] = old_y
+        if oi >= 0:
+            pos_x[oi] = new_x
+            pos_y[oi] = new_y
         return delta
 
-    def undo(self) -> None:
-        mi, oi, old_x, old_y, new_x, new_y = self._last_pos
-        self.pos_x[mi] = old_x
-        self.pos_y[mi] = old_y
+    def commit(self) -> None:
+        """Install the staged state of the last evaluated move."""
+        (pos_x, pos_y, _col_x, _row_y,
+         s_xmin, s_xmax, s_ymin, s_ymax,
+         s_n_xmin, s_n_xmax, s_n_ymin, s_n_ymax,
+         _weight, s_cost, _members, _pads, _two_point, _contrib,
+         _index_of, pending, _touched, _slot_of) = self._hot
+        mi, oi, old_x, old_y, new_x, new_y = self._pending_move
+        pos_x[mi] = new_x
+        pos_y[mi] = new_y
         if oi >= 0:
-            self.pos_x[oi] = new_x
-            self.pos_y[oi] = new_y
-        for (k, cost, xmin, xmax, ymin, ymax,
-             n_xmin, n_xmax, n_ymin, n_ymax) in self._saved:
-            self.cost[k] = cost
-            self.xmin[k] = xmin
-            self.xmax[k] = xmax
-            self.ymin[k] = ymin
-            self.ymax[k] = ymax
-            self.n_xmin[k] = n_xmin
-            self.n_xmax[k] = n_xmax
-            self.n_ymin[k] = n_ymin
-            self.n_ymax[k] = n_ymax
+            pos_x[oi] = old_x
+            pos_y[oi] = old_y
+        for ent in pending:
+            k = ent[0]
+            s_cost[k] = ent[1]
+            s_xmin[k] = ent[2]
+            s_xmax[k] = ent[3]
+            s_ymin[k] = ent[4]
+            s_ymax[k] = ent[5]
+            s_n_xmin[k] = ent[6]
+            s_n_xmax[k] = ent[7]
+            s_n_ymin[k] = ent[8]
+            s_n_ymax[k] = ent[9]
 
 
 _ENGINES = {"array": _ArrayCostEngine, "object": _ObjectCostEngine}
@@ -675,9 +1053,13 @@ class AnnealingPlacer:
             for member, count in counts.items():
                 self._contrib_of[member].append((net_name, count))
 
-        # Populated by place(): the engine used and the final exact cost.
+        # Populated by place(): the engine used, the final exact cost,
+        # and aggregate move-kernel counters (proposed = drawn proposals,
+        # evaluated = proposals that reached the cost engine, accepted =
+        # committed moves) for observability and benchmarks.
         self._engine = None
         self.final_cost: Optional[float] = None
+        self.stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def _initial_sites(self) -> Dict[str, Site]:
@@ -712,6 +1094,10 @@ class AnnealingPlacer:
 
         if not self._movable:
             self.final_cost = total
+            self.stats = {
+                "engine": self.engine_name, "temperatures": 0,
+                "proposed": 0, "evaluated": 0, "accepted": 0,
+            }
             _span.set(final_cost=total, temperatures=0)
             return Placement(grid=self.grid, sites=sites, pads=self.pads)
 
@@ -721,18 +1107,28 @@ class AnnealingPlacer:
             max(200, int(self.effort * MOVES_PER_CELL * n ** 1.33)),
         )
 
+        # The speculative engine gets the evaluate/commit hot loop (no
+        # apply/undo, inlined RNG); the object engine keeps the legacy
+        # optimistic-apply loop.  Both draw the identical bit stream and
+        # perform the identical float operations.
+        if engine.speculative:
+            sample = self._sample_speculative
+            sweep = self._sweep_speculative
+        else:
+            sample = self._sample_legacy
+            sweep = self._sweep_legacy
+
         # Initial temperature: std-dev of cost over random perturbations.
-        samples = []
-        for _ in range(min(100, moves_per_t)):
-            delta, applied = self._try_move(engine, sites, occupant, self.grid.cols)
-            samples.append(abs(delta))
-            if applied:
-                total += delta
+        n_samples = min(100, moves_per_t)
+        samples, total = sample(engine, sites, occupant, n_samples, total)
         temperature = 20.0 * (sum(samples) / max(1, len(samples)) or 1.0)
 
         range_limit = float(max(self.grid.cols, self.grid.rows))
         min_temperature = 0.005 * total / max(1, len(self.netlist.nets))
         n_temperatures = 0
+        proposed = n_samples
+        evaluated_total = 0
+        accepted_total = 0
         while temperature > max(min_temperature, 1e-9):
             # Per-temperature telemetry (accept rate, cost, moves/s) is
             # recorded at sweep granularity: one guarded check per sweep,
@@ -742,18 +1138,10 @@ class AnnealingPlacer:
             observing = _obs.active()
             sweep_temperature = temperature
             sweep_start = time.perf_counter() if observing else 0.0  # check: allow(DT002) trace timing
-            accepted = 0
-            for _ in range(moves_per_t):
-                delta, applied = self._try_move(
-                    engine, sites, occupant, int(max(1, range_limit))
-                )
-                if not applied:
-                    continue
-                if delta <= 0 or self.rng.random() < math.exp(-delta / temperature):
-                    total += delta
-                    accepted += 1
-                else:
-                    self._undo_move(engine, sites, occupant)
+            accepted, evaluated = sweep(
+                engine, sites, occupant, int(max(1, range_limit)),
+                moves_per_t, temperature,
+            )
             ratio = accepted / max(1, moves_per_t)
             # VPR schedule.
             if ratio > 0.96:
@@ -768,12 +1156,16 @@ class AnnealingPlacer:
             # Periodic exact rebuild bounds float drift in the running total.
             total = engine.rebuild()
             n_temperatures += 1
+            proposed += moves_per_t
+            evaluated_total += evaluated
+            accepted_total += accepted
             if observing:
                 sweep_seconds = time.perf_counter() - sweep_start  # check: allow(DT002) trace timing
                 _obs.point(
                     "sa.temperature",
                     temperature=sweep_temperature,
                     moves=moves_per_t,
+                    evaluated=evaluated,
                     accepted=accepted,
                     accept_rate=ratio,
                     cost=total,
@@ -785,11 +1177,19 @@ class AnnealingPlacer:
                 _obs.observe("sa.accept_rate", ratio, RATIO_BUCKETS)
                 _obs.observe("sa.temperature.seconds", sweep_seconds)
                 _obs.counter("sa.moves", moves_per_t)
+                _obs.counter("sa.evaluated", evaluated)
                 _obs.counter("sa.accepted", accepted)
             if ratio < 0.01 and temperature < min_temperature * 10:
                 break
 
         self.final_cost = total
+        self.stats = {
+            "engine": self.engine_name,
+            "temperatures": n_temperatures,
+            "proposed": proposed,
+            "evaluated": evaluated_total,
+            "accepted": accepted_total,
+        }
         _span.set(final_cost=total, temperatures=n_temperatures)
         _obs.counter("sa.placements")
         return Placement(grid=self.grid, sites=sites, pads=self.pads)
@@ -840,4 +1240,224 @@ class AnnealingPlacer:
         if other is not None:
             sites[other] = new_site
         engine.undo()
+
+    # ------------------------------------------------------------------
+    # Legacy loops (apply/undo engines): unchanged from the original
+    # per-move path, kept as the oracle the speculative loops must match.
+    def _sample_legacy(
+        self,
+        engine,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+        n: int,
+        total: float,
+    ) -> Tuple[List[float], float]:
+        samples: List[float] = []
+        for _ in range(n):
+            delta, applied = self._try_move(engine, sites, occupant, self.grid.cols)
+            samples.append(abs(delta))
+            if applied:
+                total += delta
+        return samples, total
+
+    def _sweep_legacy(
+        self,
+        engine,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+        range_limit: int,
+        moves: int,
+        temperature: float,
+    ) -> Tuple[int, int]:
+        """One temperature sweep via optimistic apply + undo-on-reject."""
+        accepted = 0
+        evaluated = 0
+        for _ in range(moves):
+            delta, applied = self._try_move(engine, sites, occupant, range_limit)
+            if not applied:
+                continue
+            evaluated += 1
+            if delta <= 0 or self.rng.random() < math.exp(-delta / temperature):
+                accepted += 1
+            else:
+                self._undo_move(engine, sites, occupant)
+        return accepted, evaluated
+
+    # ------------------------------------------------------------------
+    # Speculative loops (evaluate/commit engines).  The proposal RNG is
+    # inlined: ``randrange(n)`` and ``randint(-r, r)`` both reduce to
+    # CPython's ``_randbelow_with_getrandbits`` (draw ``bit_length``
+    # bits, reject out-of-range), so drawing through ``getrandbits``
+    # directly produces the exact same bit stream while skipping the
+    # per-call argument validation — every placement stays bit-identical
+    # to the legacy loop, including the RNG stream position.
+    def _sample_speculative(
+        self,
+        engine,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+        n: int,
+        total: float,
+    ) -> Tuple[List[float], float]:
+        rng = self.rng
+        getrandbits = rng.getrandbits
+        movable = self._movable
+        n_mov = len(movable)
+        k_mov = n_mov.bit_length()
+        rl = self.grid.cols
+        span = 2 * rl + 1
+        k_span = span.bit_length()
+        col_hi = self.grid.cols - 1
+        row_hi = self.grid.rows - 1
+        locked = self.locked
+        evaluate = engine.evaluate_move
+        commit = engine.commit
+        samples: List[float] = []
+        for _ in range(n):
+            r = getrandbits(k_mov)
+            while r >= n_mov:
+                r = getrandbits(k_mov)
+            mover = movable[r]
+            old_site = sites[mover]
+            r = getrandbits(k_span)
+            while r >= span:
+                r = getrandbits(k_span)
+            col = old_site[0] - rl + r
+            if col < 0:
+                col = 0
+            elif col > col_hi:
+                col = col_hi
+            r = getrandbits(k_span)
+            while r >= span:
+                r = getrandbits(k_span)
+            row = old_site[1] - rl + r
+            if row < 0:
+                row = 0
+            elif row > row_hi:
+                row = row_hi
+            if col == old_site[0] and row == old_site[1]:
+                samples.append(0.0)
+                continue
+            new_site = (col, row)
+            other = occupant[new_site]
+            if other is not None and other in locked:
+                samples.append(0.0)
+                continue
+            delta = evaluate(mover, other, new_site)
+            commit()
+            sites[mover] = new_site
+            occupant[new_site] = mover
+            occupant[old_site] = other
+            if other is not None:
+                sites[other] = old_site
+            samples.append(abs(delta))
+            total += delta
+        return samples, total
+
+    def _sweep_speculative(
+        self,
+        engine,
+        sites: Dict[str, Site],
+        occupant: Dict[Site, Optional[str]],
+        range_limit: int,
+        moves: int,
+        temperature: float,
+    ) -> Tuple[int, int]:
+        """One temperature sweep via speculative evaluate + commit."""
+        rng = self.rng
+        getrandbits = rng.getrandbits
+        rng_random = rng.random
+        exp = math.exp
+        movable = self._movable
+        n_mov = len(movable)
+        k_mov = n_mov.bit_length()
+        span = 2 * range_limit + 1
+        k_span = span.bit_length()
+        col_hi = self.grid.cols - 1
+        row_hi = self.grid.rows - 1
+        locked = self.locked
+        evaluate = engine.evaluate_move
+        commit = engine.commit
+        accepted = 0
+        evaluated = 0
+        for _ in range(moves):
+            r = getrandbits(k_mov)
+            while r >= n_mov:
+                r = getrandbits(k_mov)
+            mover = movable[r]
+            old_site = sites[mover]
+            r = getrandbits(k_span)
+            while r >= span:
+                r = getrandbits(k_span)
+            col = old_site[0] - range_limit + r
+            if col < 0:
+                col = 0
+            elif col > col_hi:
+                col = col_hi
+            r = getrandbits(k_span)
+            while r >= span:
+                r = getrandbits(k_span)
+            row = old_site[1] - range_limit + r
+            if row < 0:
+                row = 0
+            elif row > row_hi:
+                row = row_hi
+            if col == old_site[0] and row == old_site[1]:
+                continue
+            new_site = (col, row)
+            other = occupant[new_site]
+            if other is not None and other in locked:
+                continue
+            evaluated += 1
+            delta = evaluate(mover, other, new_site)
+            if delta <= 0 or rng_random() < exp(-delta / temperature):
+                commit()
+                accepted += 1
+                sites[mover] = new_site
+                occupant[new_site] = mover
+                occupant[old_site] = other
+                if other is not None:
+                    sites[other] = old_site
+        return accepted, evaluated
+
+    # ------------------------------------------------------------------
+    def benchmark_kernel(
+        self, n_moves: int, temperature: float = 1.0
+    ) -> Dict[str, float]:
+        """Time the raw move kernel: ``n_moves`` proposals at one temperature.
+
+        A microbenchmark entry point (no schedule, no per-temperature
+        rebuilds): builds the initial placement, then runs a single
+        fixed-temperature sweep through the engine configured for this
+        placer.  Returns moves proposed/evaluated/accepted, wall
+        seconds, and moves per second.  Placement state is left behind
+        for inspection but no :class:`Placement` is produced.
+        """
+        sites = self._initial_sites()
+        occupant: Dict[Site, Optional[str]] = {s: None for s in self.grid.sites()}
+        for name, site in sites.items():
+            occupant[site] = name
+        engine = _ENGINES[self.engine_name](self, sites)
+        self._engine = engine
+        engine.rebuild()
+        if not self._movable:
+            return {"moves": 0, "evaluated": 0, "accepted": 0,
+                    "seconds": 0.0, "moves_per_s": 0.0}
+        range_limit = int(max(self.grid.cols, self.grid.rows))
+        sweep = (
+            self._sweep_speculative if engine.speculative
+            else self._sweep_legacy
+        )
+        start = time.perf_counter()  # check: allow(DT002) microbenchmark timing
+        accepted, evaluated = sweep(
+            engine, sites, occupant, range_limit, n_moves, temperature
+        )
+        seconds = time.perf_counter() - start  # check: allow(DT002) microbenchmark timing
+        return {
+            "moves": n_moves,
+            "evaluated": evaluated,
+            "accepted": accepted,
+            "seconds": seconds,
+            "moves_per_s": n_moves / seconds if seconds > 0 else 0.0,
+        }
     # ------------------------------------------------------------------

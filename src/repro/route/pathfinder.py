@@ -38,21 +38,24 @@ class RoutedNet:
         return len(self.edges) * grid.bin_pitch
 
     def via_count(self) -> int:
-        """Bend count proxy: vias where the tree changes direction."""
-        vias = 0
-        for b in self.bins:
-            horizontal = 0
-            vertical = 0
-            for edge in self.edges:
-                if b in edge:
-                    other = edge[0] if edge[1] == b else edge[1]
-                    if other[0] != b[0]:
-                        horizontal += 1
-                    else:
-                        vertical += 1
-            if horizontal and vertical:
-                vias += 1
-        return vias
+        """Bend count proxy: vias where the tree changes direction.
+
+        One pass over the edges builds per-bin horizontal/vertical
+        incidence, so the count is O(edges + bins) instead of the old
+        O(bins x edges) all-pairs scan; a via is any bin touching both
+        orientations.
+        """
+        horizontal: Set[Bin] = set()
+        vertical: Set[Bin] = set()
+        for edge in self.edges:
+            a, b = edge
+            if a[0] != b[0]:
+                horizontal.add(a)
+                horizontal.add(b)
+            else:
+                vertical.add(a)
+                vertical.add(b)
+        return len(self.bins & horizontal & vertical)
 
 
 @dataclass
@@ -217,12 +220,17 @@ class PathFinderRouter:
         routed: Dict[str, RoutedNet] = {}
         present_factor = 0.6
         iterations = 0
+        # One `_overused()` scan per iteration: computed after rerouting
+        # and reused for telemetry, the convergence break, the next
+        # iteration's rip-up set, and the final summary (the old code
+        # scanned `present` up to three times per iteration).
+        overused: List[Edge] = []
         for iteration in range(max_iterations):
             iterations = iteration + 1
             if iteration == 0:
                 reroute = order
             else:
-                over = set(self._overused())
+                over = set(overused)
                 if not over:
                     break
                 reroute = [
@@ -238,25 +246,25 @@ class PathFinderRouter:
                 routed[name] = self._route_net(
                     name, net_terminals[name], present_factor
                 )
+            overused = self._overused()
             # Per-iteration negotiation telemetry: rip-up and overuse
             # counts at iteration granularity; instrumentation only reads
             # router state, so traced and untraced routes are identical.
             if _obs.active():
-                overused_now = len(self._overused())
                 _obs.point(
                     "pathfinder.iteration",
                     iteration=iterations,
                     rerouted=len(reroute),
-                    overused=overused_now,
+                    overused=len(overused),
                     present_factor=present_factor,
                 )
-                _obs.observe("pathfinder.overused_edges", float(overused_now))
+                _obs.observe("pathfinder.overused_edges", float(len(overused)))
                 if iteration > 0:
                     _obs.counter("pathfinder.rip_ups", len(reroute))
             present_factor *= PRESENT_FACTOR_GROWTH
-            if not self._overused():
+            if not overused:
                 break
-        overused_edges = len(self._overused())
+        overused_edges = len(overused)
         _span.set(iterations=iterations, overused=overused_edges)
         _obs.counter("pathfinder.routes")
         _obs.counter("pathfinder.iterations", iterations)

@@ -9,6 +9,7 @@ NPN canonicalization for the lookup table versus the exhaustive search.
 """
 
 import os
+import random
 import subprocess
 import sys
 
@@ -56,6 +57,8 @@ class TestSAEngineEquivalence:
         # same float operations in the same order.
         assert p_obj.final_cost == p_arr.final_cost
         assert p_obj._engine.net_costs() == p_arr._engine.net_costs()
+        # ... and the same RNG draws: the stream position matches too.
+        assert p_obj.rng.getstate() == p_arr.rng.getstate()
 
     def test_identical_on_larger_design(self):
         netlist = build_design("alu", 0.2)
@@ -109,6 +112,181 @@ class TestSAEngineEquivalence:
         netlist = make_ripple_design(3)
         with pytest.raises(ValueError, match="unknown SA cost engine"):
             AnnealingPlacer(netlist, grid_for_netlist(netlist), engine="bogus")
+
+
+def make_double_pin_design():
+    """A design where one net feeds two pins of the same instance.
+
+    The AND's both inputs tie to the same net, so that instance
+    contributes the net's point twice (the ``count == 2`` move path).
+    """
+    from repro.netlist.build import NetlistBuilder
+
+    b = NetlistBuilder("double_pin")
+    x = b.input("x")
+    y = b.input("y")
+    n = b.AND(x, x)
+    b.output(b.XOR(n, y), "o")
+    b.output(b.AND(n, x), "p")
+    return b.netlist
+
+
+class TestSpeculativeEngineLevel:
+    """evaluate_move + commit must equal apply_move/undo bit for bit.
+
+    These drive the two engines directly (below the placer loop) through
+    identical move sequences — including swaps whose cells share a net,
+    coincident-boundary boxes, and multi-pin contributions — asserting
+    equal deltas after every proposal and equal per-net costs at the
+    end.
+    """
+
+    def _setup(self, netlist, seed=0):
+        grid = grid_for_netlist(netlist)
+        p_obj = AnnealingPlacer(netlist, grid, seed=seed, engine="object")
+        p_arr = AnnealingPlacer(netlist, grid, seed=seed, engine="array")
+        sites_obj = p_obj._initial_sites()
+        sites_arr = p_arr._initial_sites()
+        assert sites_obj == sites_arr
+        eng_obj = sa._ENGINES["object"](p_obj, sites_obj)
+        eng_arr = sa._ENGINES["array"](p_arr, sites_arr)
+        assert eng_obj.rebuild() == eng_arr.rebuild()
+        return p_obj, sites_obj, eng_obj, sites_arr, eng_arr
+
+    def _drive(self, netlist, seed=0, n_moves=400):
+        p_obj, sites_obj, eng_obj, sites_arr, eng_arr = self._setup(
+            netlist, seed
+        )
+        grid = p_obj.grid
+        occupant = {s: None for s in grid.sites()}
+        for name, site in sites_obj.items():
+            occupant[site] = name
+        rng = random.Random(1234)
+        movable = p_obj._movable
+        proposals = swaps = 0
+        for _ in range(n_moves):
+            mover = movable[rng.randrange(len(movable))]
+            new_site = (rng.randrange(grid.cols), rng.randrange(grid.rows))
+            old_site = sites_obj[mover]
+            if new_site == old_site:
+                continue
+            other = occupant[new_site]
+            proposals += 1
+            swaps += other is not None
+            # Object-engine contract: the swap is made in ``sites``
+            # first, then applied (and reverted around undo).
+            sites_obj[mover] = new_site
+            if other is not None:
+                sites_obj[other] = old_site
+            delta_obj = eng_obj.apply_move(mover, other, old_site, new_site)
+            delta_arr = eng_arr.evaluate_move(mover, other, new_site)
+            assert delta_obj == delta_arr
+            if rng.random() < 0.5:  # accept
+                eng_arr.commit()
+                sites_arr[mover] = new_site
+                if other is not None:
+                    sites_arr[other] = old_site
+                occupant[new_site] = mover
+                occupant[old_site] = other
+            else:  # reject
+                eng_obj.undo()
+                sites_obj[mover] = old_site
+                if other is not None:
+                    sites_obj[other] = new_site
+            assert sites_obj == sites_arr
+        assert proposals and swaps, "drive never exercised the move paths"
+        assert eng_obj.net_costs() == eng_arr.net_costs()
+        assert eng_obj.rebuild() == eng_arr.rebuild()
+
+    def test_random_drive_matches_apply_undo(self):
+        self._drive(make_ripple_design(6), seed=2)
+
+    def test_double_pin_contributions_match(self):
+        self._drive(make_double_pin_design(), seed=1)
+
+    def test_shared_net_swap_matches(self):
+        """A swap between two cells on the same net merges per-net moves."""
+        netlist = make_ripple_design(4)
+        p_obj, sites_obj, eng_obj, sites_arr, eng_arr = self._setup(netlist)
+        pair = None
+        for net in netlist.nets.values():
+            if net.driver is None or not net.sinks:
+                continue
+            a, b = net.driver[0], net.sinks[0][0]
+            if a != b and a in sites_obj and b in sites_obj:
+                pair = (a, b)
+                break
+        assert pair is not None
+        a, b = pair
+        old_site, new_site = sites_obj[a], sites_obj[b]
+        sites_obj[a] = new_site
+        sites_obj[b] = old_site
+        delta_obj = eng_obj.apply_move(a, b, old_site, new_site)
+        delta_arr = eng_arr.evaluate_move(a, b, new_site)
+        assert delta_obj == delta_arr
+        eng_arr.commit()
+        assert eng_obj.net_costs() == eng_arr.net_costs()
+
+    def test_coincident_boundary_counts_match(self):
+        """Moves among coincident coordinates (multi-point boundaries)."""
+        netlist = make_ripple_design(5)
+        p_obj, sites_obj, eng_obj, sites_arr, eng_arr = self._setup(netlist)
+        grid = p_obj.grid
+        occupant = {s: None for s in grid.sites()}
+        for name, site in sites_obj.items():
+            occupant[site] = name
+        # Walk one instance along its own row and column: every step
+        # keeps one axis coordinate coincident with other cells in that
+        # row/column, exercising boundary counts > 1 on add and remove.
+        mover = p_obj._movable[0]
+        steps = [(c, sites_obj[mover][1]) for c in range(grid.cols)]
+        steps += [(sites_obj[mover][0], r) for r in range(grid.rows)]
+        for new_site in steps:
+            old_site = sites_obj[mover]
+            if new_site == old_site:
+                continue
+            other = occupant[new_site]
+            sites_obj[mover] = new_site
+            if other is not None:
+                sites_obj[other] = old_site
+            delta_obj = eng_obj.apply_move(mover, other, old_site, new_site)
+            delta_arr = eng_arr.evaluate_move(mover, other, new_site)
+            assert delta_obj == delta_arr
+            eng_arr.commit()
+            sites_arr[mover] = new_site
+            if other is not None:
+                sites_arr[other] = old_site
+            occupant[new_site] = mover
+            occupant[old_site] = other
+        assert eng_obj.net_costs() == eng_arr.net_costs()
+
+    def test_rejected_evaluation_leaves_state_untouched(self):
+        netlist = make_ripple_design(4)
+        _p, sites_obj, _eng_obj, _sites_arr, eng_arr = self._setup(netlist)
+        mover = _p._movable[0]
+        target = next(
+            s for s in _p.grid.sites() if s != sites_obj[mover]
+        )
+        before_costs = eng_arr.net_costs()
+        before_pos = (list(eng_arr.pos_x), list(eng_arr.pos_y))
+        before_boxes = (
+            list(eng_arr.xmin), list(eng_arr.xmax),
+            list(eng_arr.ymin), list(eng_arr.ymax),
+            list(eng_arr.n_xmin), list(eng_arr.n_xmax),
+            list(eng_arr.n_ymin), list(eng_arr.n_ymax),
+        )
+        occupant = {}
+        for name, site in sites_obj.items():
+            occupant[site] = name
+        eng_arr.evaluate_move(mover, occupant.get(target), target)
+        assert eng_arr.net_costs() == before_costs
+        assert (list(eng_arr.pos_x), list(eng_arr.pos_y)) == before_pos
+        assert before_boxes == (
+            list(eng_arr.xmin), list(eng_arr.xmax),
+            list(eng_arr.ymin), list(eng_arr.ymax),
+            list(eng_arr.n_xmin), list(eng_arr.n_xmax),
+            list(eng_arr.n_ymin), list(eng_arr.n_ymax),
+        )
 
 
 class TestPersistentRealizationTables:

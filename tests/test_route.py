@@ -88,6 +88,43 @@ class TestRouter:
         result = PathFinderRouter(grid).route({"n": [(0, 0), (4, 4)]})
         assert result.nets["n"].via_count() >= 1
 
+    def test_via_count_pinned_on_known_trees(self):
+        """Exact via counts for hand-built trees (the O(edges) rewrite)."""
+        from repro.route.pathfinder import RoutedNet
+
+        def tree(path):
+            bins = set(path)
+            edges = {
+                tuple(sorted((path[i], path[i + 1])))
+                for i in range(len(path) - 1)
+            }
+            return RoutedNet("t", bins=bins, edges=edges)
+
+        # Straight horizontal line: no direction change, no vias.
+        line = tree([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert line.via_count() == 0
+
+        # L-shape: exactly one bin touches both orientations.
+        ell = tree([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)])
+        assert ell.via_count() == 1
+
+        # Cross: horizontal and vertical arms share only the center.
+        cross = RoutedNet(
+            "x",
+            bins={(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)},
+            edges={
+                ((0, 1), (1, 1)),
+                ((1, 1), (2, 1)),
+                ((1, 0), (1, 1)),
+                ((1, 1), (1, 2)),
+            },
+        )
+        assert cross.via_count() == 1
+
+        # Staircase: every interior bin is a bend.
+        stair = tree([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
+        assert stair.via_count() == 3
+
 
 class TestExtraction:
     def test_terminals_skip_single_bin_nets(self):
