@@ -25,7 +25,12 @@ Commands
     functions — the quickest way to see where a flow run spends time.
 ``trace [JOURNAL]``
     Render a journal's span tree; ``--chrome`` also writes Chrome
-    ``chrome://tracing`` trace-event JSON.
+    ``chrome://tracing`` trace-event JSON; ``--gantt`` renders the
+    stage-graph scheduler timeline (one lane per worker).
+``cache stats`` / ``cache gc``
+    Inspect the content-addressed stage cache, or evict entries by age
+    (``--max-age 7d``) and/or LRU order until under a size budget
+    (``--max-size 500M``); ``--dry-run`` previews.
 ``stats [JOURNAL]``
     Print a journal's metric summaries (counters, gauges, histogram
     percentiles); ``--prometheus`` emits Prometheus exposition text.
@@ -92,7 +97,8 @@ def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
 
     options = FlowOptions(
         arch=args.arch, seed=args.seed, place_effort=args.effort,
-        jobs=args.jobs, use_cache=not args.no_cache,
+        jobs=args.jobs, schedule=args.schedule,
+        use_cache=not args.no_cache,
         observe=args.trace, check=args.check,
         sa_engine=args.sa_engine,
     )
@@ -215,8 +221,8 @@ def _cmd_tables(args: argparse.Namespace, reporter: Reporter) -> int:
     from dataclasses import replace
 
     options = replace(
-        default_options(), jobs=args.jobs, use_cache=not args.no_cache,
-        observe=args.trace,
+        default_options(), jobs=args.jobs, schedule=args.schedule,
+        use_cache=not args.no_cache, observe=args.trace,
     )
     matrix = run_matrix(options, scale=args.scale, jobs=args.jobs)
     reporter.out(run_table1(matrix).format())
@@ -293,6 +299,66 @@ def _cmd_profile(args: argparse.Namespace, reporter: Reporter) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .flow.cache import (
+        collect_garbage,
+        default_cache_dir,
+        parse_age,
+        parse_size,
+        usage_summary,
+    )
+
+    root = Path(args.dir) if args.dir else default_cache_dir()
+    if args.cache_command == "stats":
+        summary = usage_summary(root)
+        if args.json:
+            reporter.payload(summary)
+            return 0
+        reporter.out(f"cache root: {summary['root']}")
+        reporter.out(
+            f"{summary['entries']} entries, {summary['bytes']} bytes"
+        )
+        for stage, bucket in summary["stages"].items():
+            reporter.out(
+                f"  {stage:10s} {bucket['entries']:6d} entries "
+                f"{bucket['bytes']:12d} B"
+            )
+        return 0
+
+    # gc
+    max_bytes = max_age = None
+    try:
+        if args.max_size is not None:
+            max_bytes = parse_size(args.max_size)
+        if args.max_age is not None:
+            max_age = parse_age(args.max_age)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if max_bytes is None and max_age is None:
+        print("cache gc needs --max-size and/or --max-age "
+              "(otherwise there is nothing to evict)", file=sys.stderr)
+        return 2
+    report = collect_garbage(
+        root, max_bytes=max_bytes, max_age_seconds=max_age,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        reporter.payload({
+            "root": str(root),
+            "scanned": report.scanned,
+            "removed": report.removed,
+            "freed_bytes": report.freed_bytes,
+            "kept": report.kept,
+            "kept_bytes": report.kept_bytes,
+            "errors": report.errors,
+            "dry_run": report.dry_run,
+        })
+    else:
+        reporter.out(report.format())
+    return 0
+
+
 def _resolve_journal(args: argparse.Namespace, reporter: Reporter):
     from .obs import journal as obs_journal
 
@@ -327,7 +393,10 @@ def _cmd_trace(args: argparse.Namespace, reporter: Reporter) -> int:
             f"chrome trace written to {args.chrome} "
             "(load in chrome://tracing or ui.perfetto.dev)"
         )
-    reporter.out(export.format_span_tree(events, max_depth=args.depth))
+    if args.gantt:
+        reporter.out(export.format_gantt(events))
+    else:
+        reporter.out(export.format_span_tree(events, max_depth=args.depth))
     return 0
 
 
@@ -355,6 +424,11 @@ def _add_flow_arguments(flow: argparse.ArgumentParser) -> None:
                       help="placement effort (1.0 = full anneal)")
     flow.add_argument("--jobs", type=int, default=1,
                       help="worker processes for matrix fan-out (1 = serial)")
+    flow.add_argument("--schedule", choices=["cell", "stage"],
+                      default="stage",
+                      help="parallel decomposition: 'stage' pipelines "
+                           "(cell, stage) tasks across workers, 'cell' "
+                           "ships whole cells; results are bit-identical")
     flow.add_argument("--sa-engine", choices=["array", "object"],
                       default=None, dest="sa_engine",
                       help="annealer cost engine (default: $REPRO_SA_ENGINE "
@@ -432,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the 8-cell matrix "
                              "(1 = serial; -1 = all CPUs)")
+    tables.add_argument("--schedule", choices=["cell", "stage"],
+                        default="stage",
+                        help="parallel decomposition for --jobs > 1 "
+                             "(default: stage; results are bit-identical)")
     tables.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed stage cache")
     tables.add_argument("--timings", action="store_true",
@@ -470,6 +548,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write Chrome trace-event JSON to PATH")
     trace.add_argument("--depth", type=int, default=None,
                        help="limit the rendered span-tree depth")
+    trace.add_argument("--gantt", action="store_true",
+                       help="render the stage-graph scheduler Gantt "
+                            "(one lane per worker) instead of the span tree")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect the stage cache"
+    )
+    cache.add_argument("--dir", default=None, metavar="PATH",
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-stage entry counts and byte totals"
+    )
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit the summary as JSON on stdout")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict entries by age and/or LRU order"
+    )
+    cache_gc.add_argument("--max-size", default=None, metavar="SIZE",
+                          help="keep at most SIZE bytes (suffixes K/M/G/T), "
+                               "evicting least-recently-used entries first")
+    cache_gc.add_argument("--max-age", default=None, metavar="AGE",
+                          help="evict entries unused for AGE "
+                               "(suffixes s/m/h/d/w; plain number = seconds)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, remove nothing")
+    cache_gc.add_argument("--json", action="store_true",
+                          help="emit the gc report as JSON on stdout")
 
     stats = sub.add_parser(
         "stats", help="print a run journal's metric summaries"
@@ -498,6 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args, reporter)
 

@@ -20,9 +20,10 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional
 
 from ..netlist.core import Netlist
 from ..obs import core as _obs
@@ -110,9 +111,20 @@ class StageCache:
     partial entries (a torn read would be caught by the digest anyway).
     """
 
-    def __init__(self, root: Optional[Path] = None, enabled: bool = True):
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: bool = True,
+        respect_env: bool = True,
+    ):
+        """``respect_env=False`` ignores ``REPRO_NO_CACHE`` — used by the
+        stage-graph scheduler's private *transport* cache, which is an
+        IPC rendezvous in a throwaway directory, not a persistent cache,
+        and must work even when persistent caching is globally off."""
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.enabled = enabled and not cache_globally_disabled()
+        self.enabled = enabled and not (
+            respect_env and cache_globally_disabled()
+        )
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -121,6 +133,16 @@ class StageCache:
 
     def _path(self, stage: str, key: str) -> Path:
         return self.root / stage / f"{key}.pkl"
+
+    def has(self, stage: str, key: str) -> bool:
+        """Whether an entry for (stage, key) exists on disk.
+
+        Existence only — a corrupt entry still reports True and is
+        caught (and discarded) by the digest check on :meth:`get`.  Used
+        by the stage-graph scheduler to collapse already-cached DAG
+        nodes without deserializing their payloads.
+        """
+        return self.enabled and self._path(stage, key).is_file()
 
     def get(self, stage: str, key: str) -> Optional[Any]:
         """The cached result, or ``None`` on miss/corruption."""
@@ -154,6 +176,10 @@ class StageCache:
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(raw)
+        try:
+            os.utime(path)  # recency signal for `repro cache gc` (LRU)
+        except OSError:
+            pass
         _obs.counter("cache.hit")
         _obs.point("cache", stage=stage, outcome="hit", bytes=len(raw))
         return result
@@ -186,3 +212,186 @@ class NullCache(StageCache):
 
     def __init__(self):
         super().__init__(root=Path(os.devnull), enabled=False)
+
+
+# ----------------------------------------------------------------------
+# Cache maintenance (`repro cache stats` / `repro cache gc`).
+#
+# The content-addressed store grows without bound by construction —
+# every new netlist/option/seed combination adds entries and nothing
+# ever removes them.  `get` refreshes an entry's mtime on every hit, so
+# mtime order is LRU order and eviction can be both size- and age-based.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache entry (stat snapshot, payload never read)."""
+
+    path: Path
+    stage: str
+    size: int
+    mtime: float
+
+
+@dataclass
+class GcReport:
+    """What one :func:`collect_garbage` pass did (or would do)."""
+
+    scanned: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    errors: int = 0
+    dry_run: bool = False
+    removed_paths: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{self.scanned} entries scanned; {verb} {self.removed} "
+            f"({self.freed_bytes} B), kept {self.kept} "
+            f"({self.kept_bytes} B), {self.errors} errors"
+        )
+
+
+def iter_entries(root: Optional[Path] = None) -> List[CacheEntry]:
+    """Every cache entry under ``root``, sorted oldest-first (LRU order).
+
+    Tolerant by design: files that vanish or fail to ``stat`` mid-scan
+    are skipped, non-``.pkl`` strays are ignored, and a missing root
+    yields an empty list.  Sort ties on path so the order is stable on
+    filesystems with coarse mtimes.
+    """
+    root = Path(root) if root is not None else default_cache_dir()
+    entries: List[CacheEntry] = []
+    if not root.is_dir():
+        return entries
+    for path in root.glob("*/*.pkl"):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append(
+            CacheEntry(
+                path=path, stage=path.parent.name,
+                size=st.st_size, mtime=st.st_mtime,
+            )
+        )
+    entries.sort(key=lambda e: (e.mtime, str(e.path)))
+    return entries
+
+
+def usage_summary(root: Optional[Path] = None) -> Dict[str, Any]:
+    """Per-stage entry counts and byte totals for ``repro cache stats``."""
+    root = Path(root) if root is not None else default_cache_dir()
+    entries = iter_entries(root)
+    stages: Dict[str, Dict[str, int]] = {}
+    for entry in entries:
+        bucket = stages.setdefault(entry.stage, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += entry.size
+    summary: Dict[str, Any] = {
+        "root": str(root),
+        "entries": len(entries),
+        "bytes": sum(e.size for e in entries),
+        "stages": {name: stages[name] for name in sorted(stages)},
+    }
+    if entries:
+        summary["oldest_mtime"] = entries[0].mtime
+        summary["newest_mtime"] = entries[-1].mtime
+    return summary
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/``"1024"`` -> bytes (suffixes K/M/G/T, base 1024)."""
+    raw = text.strip()
+    suffixes = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+    factor = 1
+    if raw and raw[-1].upper() in suffixes:
+        factor = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"unparsable size {text!r}") from None
+    if value < 0:
+        raise ValueError(f"negative size {text!r}")
+    return int(value * factor)
+
+
+def parse_age(text: str) -> float:
+    """``"7d"``/``"12h"``/``"30m"``/``"45s"``/``"3600"`` -> seconds."""
+    raw = text.strip()
+    suffixes = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    factor = 1.0
+    if raw and raw[-1].lower() in suffixes:
+        factor = suffixes[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"unparsable age {text!r}") from None
+    if value < 0:
+        raise ValueError(f"negative age {text!r}")
+    return value * factor
+
+
+def collect_garbage(
+    root: Optional[Path] = None,
+    max_bytes: Optional[int] = None,
+    max_age_seconds: Optional[float] = None,
+    dry_run: bool = False,
+    now: Optional[float] = None,
+) -> GcReport:
+    """Evict cache entries by age and/or LRU order until within budget.
+
+    Entries older than ``max_age_seconds`` go first; then the
+    least-recently-used entries (oldest mtime — refreshed on every
+    cache hit) are removed until the remainder fits ``max_bytes``.
+    Corruption-tolerant: an entry that cannot be removed (permission,
+    stray directory masquerading as an entry, concurrent deletion) is
+    counted in ``errors`` and never aborts the pass — gc can cost time
+    but never correctness, mirroring the read path.
+    """
+    if now is None:
+        now = time.time()  # check: allow(DT002) gc ages entries by wall clock
+    report = GcReport(dry_run=dry_run)
+    entries = iter_entries(root)
+    report.scanned = len(entries)
+
+    doomed: List[CacheEntry] = []
+    survivors: List[CacheEntry] = []
+    if max_age_seconds is not None:
+        cutoff = now - max_age_seconds
+        for entry in entries:
+            (doomed if entry.mtime < cutoff else survivors).append(entry)
+    else:
+        survivors = list(entries)
+    if max_bytes is not None:
+        live_bytes = sum(e.size for e in survivors)
+        index = 0  # survivors are oldest-first: evict from the front
+        while live_bytes > max_bytes and index < len(survivors):
+            entry = survivors[index]
+            doomed.append(entry)
+            live_bytes -= entry.size
+            index += 1
+        survivors = survivors[index:]
+
+    for entry in doomed:
+        if not dry_run:
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                pass  # racing gc/eviction already removed it
+            except OSError:
+                report.errors += 1
+                report.kept += 1
+                report.kept_bytes += entry.size
+                continue
+        report.removed += 1
+        report.freed_bytes += entry.size
+        report.removed_paths.append(str(entry.path))
+    report.kept += len(survivors)
+    report.kept_bytes += sum(e.size for e in survivors)
+    return report

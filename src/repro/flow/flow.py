@@ -59,6 +59,30 @@ _RECURSION_LIMIT = 100_000
 #: Stage names, in pipeline order (used by reports and benchmarks).
 STAGES = ("synthesis", "physical", "route_a", "packing", "route_b")
 
+#: Upstream artifacts each stage's compute function consumes.  This is
+#: the full data-dependency relation of the Figure-6 pipeline; the
+#: stage-graph scheduler (:mod:`repro.flow.scheduler`) builds its task
+#: DAG directly from it, so the two execution modes cannot drift.
+STAGE_INPUTS: Dict[str, tuple] = {
+    "synthesis": (),
+    "physical": ("synthesis",),
+    "route_a": ("synthesis", "physical"),
+    "packing": ("synthesis", "physical"),
+    "route_b": ("synthesis", "packing"),
+}
+
+#: The upstream stage whose cache key chains into each stage's key
+#: (``None`` for the pipeline root).  A subset of :data:`STAGE_INPUTS`:
+#: ``route_a``/``packing`` consume the synthesis artifact too, but its
+#: content is already pinned transitively through the physical key.
+STAGE_KEY_PARENT: Dict[str, Optional[str]] = {
+    "synthesis": None,
+    "physical": "synthesis",
+    "route_a": "physical",
+    "packing": "physical",
+    "route_b": "packing",
+}
+
 
 #: Custom architectures registered for flow runs, by name.
 _CUSTOM_ARCHITECTURES: Dict[str, PLBArchitecture] = {}
@@ -376,6 +400,145 @@ def run_flow_b(
     return _flow_b_result(synthesis, packed, options)
 
 
+# ----------------------------------------------------------------------
+# Stage registry: one definition of every stage's cache key, compute
+# function, and boundary audit, shared by the serial path (run_design)
+# and the stage-graph scheduler (repro.flow.scheduler).
+# ----------------------------------------------------------------------
+
+def stage_cache_key(
+    cache: StageCache,
+    stage: str,
+    options: FlowOptions,
+    netlist: Optional[Netlist] = None,
+    parent_key: Optional[str] = None,
+) -> str:
+    """The content-addressed key of one stage's result.
+
+    ``netlist`` is required for the pipeline root (``synthesis``);
+    every other stage chains on ``parent_key`` — the key of its
+    :data:`STAGE_KEY_PARENT` — so an upstream change invalidates exactly
+    its downstream stages.  Component order is load-bearing: it must
+    stay byte-identical across releases or every existing cache entry
+    silently misses.
+    """
+    if stage == "synthesis":
+        return cache.key(
+            "synthesis", canonical_netlist(netlist),
+            repr(architecture_of(options.arch)),
+            options.opt_effort, options.run_compaction,
+        )
+    if stage == "physical":
+        return cache.key(
+            "physical", parent_key, options.seed, options.place_iterations,
+            options.place_effort, options.period,
+        )
+    if stage == "route_a":
+        return cache.key(
+            "route_a", parent_key, options.routing_tracks,
+            options.routing_bins_per_side, options.period,
+        )
+    if stage == "packing":
+        return cache.key(
+            "packing", parent_key, options.pack_iterations,
+            options.pack_headroom, options.period,
+        )
+    if stage == "route_b":
+        return cache.key(
+            "route_b", parent_key, options.routing_tracks, options.period
+        )
+    raise ValueError(f"unknown stage {stage!r}")
+
+
+def stage_keys(
+    cache: StageCache, netlist: Netlist, options: FlowOptions
+) -> Dict[str, str]:
+    """Every stage's cache key for one (netlist, options) cell."""
+    keys: Dict[str, str] = {}
+    for stage in STAGES:
+        parent = STAGE_KEY_PARENT[stage]
+        keys[stage] = stage_cache_key(
+            cache, stage, options,
+            netlist=netlist,
+            parent_key=keys[parent] if parent is not None else None,
+        )
+    return keys
+
+
+def compute_stage(
+    stage: str,
+    options: FlowOptions,
+    artifacts: Dict[str, object],
+    netlist: Optional[Netlist] = None,
+):
+    """Compute one stage from its upstream artifacts.
+
+    ``artifacts`` must hold every stage named in
+    ``STAGE_INPUTS[stage]``; the root stage takes the source ``netlist``
+    instead.  Pure per (inputs, options, seed) — that purity is what
+    makes both the stage cache and cross-process scheduling sound.
+    """
+    if stage == "synthesis":
+        return synthesize(netlist, options)
+    if stage == "physical":
+        return _run_physical(artifacts["synthesis"], options)
+    if stage == "route_a":
+        return _flow_a_result(
+            artifacts["synthesis"], artifacts["physical"], options
+        )
+    if stage == "packing":
+        return _pack_stage(
+            artifacts["synthesis"], artifacts["physical"], options
+        )
+    if stage == "route_b":
+        return _flow_b_result(
+            artifacts["synthesis"], artifacts["packing"], options
+        )
+    raise ValueError(f"unknown stage {stage!r}")
+
+
+def guard_stage(
+    stage: str,
+    options: FlowOptions,
+    artifacts: Dict[str, object],
+    context: str,
+) -> None:
+    """Fatal-only stage-boundary audit (``FlowOptions.check``).
+
+    ``artifacts`` holds the stage's own result plus its
+    :data:`STAGE_INPUTS`; a fatal finding raises
+    :class:`repro.check.CheckError`.
+    """
+    if not options.check:
+        return
+    from ..check.runner import check_stage, enforce
+
+    def run(kind: str, **kw) -> None:
+        enforce(check_stage(kind, **kw), f"{context} after {stage}")
+
+    if stage == "synthesis":
+        run("netlist", netlist=artifacts["synthesis"].netlist)
+    elif stage == "physical":
+        physical = artifacts["physical"]
+        run("placement", netlist=physical.netlist,
+            placement=physical.placement)
+    elif stage == "route_a":
+        physical = artifacts["physical"]
+        run("routing", routing=artifacts["route_a"].routing,
+            net_points=physical.placement.net_pin_points(physical.netlist))
+    elif stage == "packing":
+        synthesis = artifacts["synthesis"]
+        packed = artifacts["packing"]
+        run("packing", netlist=packed.netlist, packing=packed.packing)
+        run("equivalence",
+            reference=synthesis.pre_compaction_netlist or synthesis.netlist,
+            implementation=packed.netlist)
+    elif stage == "route_b":
+        packed = artifacts["packing"]
+        run("routing", routing=artifacts["route_b"].routing,
+            net_points=packed.packing.net_pin_points(packed.netlist))
+
+
 def _cache_for(options: FlowOptions) -> StageCache:
     return StageCache() if options.use_cache else NullCache()
 
@@ -432,23 +595,17 @@ def run_design(
     own_trace = _obs.begin() if observing else False
     seconds: Dict[str, float] = {}
     cached: Dict[str, bool] = {}
+    artifacts: Dict[str, object] = {}
 
-    def guard(stage: str, **artifacts) -> None:
-        """Fatal-only stage-boundary audit (``FlowOptions.check``)."""
-        if not options.check:
-            return
-        from ..check.runner import check_stage, enforce
-
-        report = check_stage(stage, **artifacts)
-        enforce(report, f"{netlist.name}/{arch} after {stage}")
-
-    def staged(stage, key, compute):
+    def staged(stage, key):
         start = time.perf_counter()  # check: allow(DT002) timing report only
         with _obs.span(f"flow.{stage}", stage=stage) as sp:
             result = cache.get(stage, key)
             hit = result is not None
             if not hit:
-                result = compute()
+                result = compute_stage(
+                    stage, options, artifacts, netlist=netlist
+                )
                 cache.put(stage, key, result)
             sp.set(cached=hit)
         elapsed = time.perf_counter() - start  # check: allow(DT002) timing report only
@@ -457,76 +614,22 @@ def run_design(
         _obs.observe(f"stage.seconds.{stage}", elapsed)
         return result
 
-    arch_repr = repr(architecture_of(arch))
     with _obs.span(
         "run_design", design=netlist.name, arch=arch, seed=options.seed
     ):
-        k_synth = cache.key(
-            "synthesis", canonical_netlist(netlist), arch_repr,
-            options.opt_effort, options.run_compaction,
-        )
-        synthesis = staged(
-            "synthesis", k_synth, lambda: synthesize(netlist, options)
-        )
-        guard("netlist", netlist=synthesis.netlist)
-
-        k_phys = cache.key(
-            "physical", k_synth, options.seed, options.place_iterations,
-            options.place_effort, options.period,
-        )
-        physical = staged(
-            "physical", k_phys, lambda: _run_physical(synthesis, options)
-        )
-        guard("placement", netlist=physical.netlist,
-              placement=physical.placement)
-
-        k_route_a = cache.key(
-            "route_a", k_phys, options.routing_tracks,
-            options.routing_bins_per_side, options.period,
-        )
-        flow_a = staged(
-            "route_a", k_route_a,
-            lambda: _flow_a_result(synthesis, physical, options),
-        )
-        guard(
-            "routing", routing=flow_a.routing,
-            net_points=physical.placement.net_pin_points(physical.netlist),
-        )
-
-        k_pack = cache.key(
-            "packing", k_phys, options.pack_iterations, options.pack_headroom,
-            options.period,
-        )
-        packed = staged(
-            "packing", k_pack, lambda: _pack_stage(synthesis, physical, options)
-        )
-        guard("packing", netlist=packed.netlist, packing=packed.packing)
-        guard(
-            "equivalence",
-            reference=synthesis.pre_compaction_netlist or synthesis.netlist,
-            implementation=packed.netlist,
-        )
-
-        k_route_b = cache.key(
-            "route_b", k_pack, options.routing_tracks, options.period
-        )
-        flow_b = staged(
-            "route_b", k_route_b,
-            lambda: _flow_b_result(synthesis, packed, options),
-        )
-        guard(
-            "routing", routing=flow_b.routing,
-            net_points=packed.packing.net_pin_points(packed.netlist),
-        )
+        keys = stage_keys(cache, netlist, options)
+        for stage in STAGES:
+            artifacts[stage] = staged(stage, keys[stage])
+            guard_stage(stage, options, artifacts, f"{netlist.name}/{arch}")
 
     run = DesignRun(
         design=netlist.name,
         arch_name=arch,
-        synthesis=synthesis,
-        physical=physical,
-        flow_a=flow_a,
-        flow_b=flow_b,
-        packed=packed,
+        synthesis=artifacts["synthesis"],
+        physical=artifacts["physical"],
+        flow_a=artifacts["route_a"],
+        flow_b=artifacts["route_b"],
+        packed=artifacts["packing"],
         stage_seconds=seconds,
         stage_cached=cached,
         cache_stats=cache.stats,

@@ -21,8 +21,13 @@ class FlowOptions:
     ``jobs`` is the worker count for the parallel experiment-matrix
     runner (1 = serial, the exact legacy path); results are identical
     for any worker count because every stage is deterministic per seed.
-    ``use_cache`` enables the content-addressed stage cache (see
-    :mod:`repro.flow.cache`); neither knob affects computed results.
+    ``schedule`` picks the parallel decomposition: ``"stage"`` (default)
+    runs the matrix as a pipelined (cell, stage) task DAG
+    (:mod:`repro.flow.scheduler`); ``"cell"`` is the legacy
+    whole-cell-per-worker pool.  ``use_cache`` enables the
+    content-addressed stage cache (see :mod:`repro.flow.cache`).  None
+    of these knobs affects computed results — serial, cell, and stage
+    runs are bit-identical at any worker count.
 
     ``observe`` turns on the :mod:`repro.obs` tracing subsystem for the
     run: spans, metrics, and cache events are recorded and written to a
@@ -56,6 +61,7 @@ class FlowOptions:
     routing_tracks: int = 28
     routing_bins_per_side: int = 12
     jobs: int = 1
+    schedule: str = "stage"
     use_cache: bool = True
     observe: bool = False
     check: bool = False

@@ -89,6 +89,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+SCHEDULES = ("cell", "stage")
+
+
 def run_cells(
     cells: Sequence[Tuple[str, str]],
     scale: float,
@@ -97,36 +100,65 @@ def run_cells(
 ) -> Dict[Tuple[str, str], DesignRun]:
     """Run every (design, arch) cell, serially or across processes.
 
+    ``options.schedule`` picks the parallel decomposition when
+    ``jobs > 1``: ``"stage"`` (default) hands the matrix to the
+    stage-graph scheduler (:mod:`repro.flow.scheduler`), which pipelines
+    (cell, stage) tasks across workers; ``"cell"`` is the legacy pool
+    that ships one whole cell per worker.  ``jobs <= 1`` is always the
+    exact serial path.  All three produce bit-identical results — the
+    schedule only changes wall-clock.
+
     The result dict is keyed by cell in the order given, regardless of
     worker completion order, so downstream table formatting is identical
     for any job count.
 
     With observation on, the whole matrix produces *one* merged journal:
-    worker event fragments are absorbed in cell order (deterministic for
-    any worker count) and written by the parent at the end.
+    worker event fragments are absorbed in a deterministic order (cell
+    order for the cell pool, task order for the stage graph) and written
+    by the parent at the end.
     """
     jobs = resolve_jobs(jobs)
+    schedule = options.schedule
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r} (choices: {SCHEDULES})"
+        )
     own_trace = _observing(options) and _obs.begin()
     runs: Dict[Tuple[str, str], DesignRun] = {}
-    if jobs <= 1 or len(cells) <= 1:
-        with _obs.span("run_cells", cells=len(cells), jobs=1):
-            for cell in cells:
-                runs[cell] = _run_cell(cell, scale, options)[1]
-    else:
-        arch_names = tuple(dict.fromkeys(arch for _design, arch in cells))
-        with _obs.span("run_cells", cells=len(cells), jobs=jobs):
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(cells)),
-                initializer=_warm_worker,
-                initargs=(arch_names,),
-            ) as pool:
-                for cell, run, events in pool.map(
-                    _run_cell, cells, [scale] * len(cells),
-                    [options] * len(cells),
-                ):
-                    runs[cell] = run
-                    if events:
-                        _obs.absorb(events)
-    if own_trace:
-        _journal.finalize(f"matrix-{len(cells)}cells")
+    try:
+        if jobs <= 1 or (schedule == "cell" and len(cells) <= 1):
+            with _obs.span("run_cells", cells=len(cells), jobs=1):
+                for cell in cells:
+                    runs[cell] = _run_cell(cell, scale, options)[1]
+        elif schedule == "stage":
+            from .scheduler import run_stage_graph
+
+            with _obs.span(
+                "run_cells", cells=len(cells), jobs=jobs, schedule="stage"
+            ):
+                runs = run_stage_graph(cells, scale, options, jobs)
+        else:
+            arch_names = tuple(
+                dict.fromkeys(arch for _design, arch in cells)
+            )
+            with _obs.span(
+                "run_cells", cells=len(cells), jobs=jobs, schedule="cell"
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(cells)),
+                    initializer=_warm_worker,
+                    initargs=(arch_names,),
+                ) as pool:
+                    for cell, run, events in pool.map(
+                        _run_cell, cells, [scale] * len(cells),
+                        [options] * len(cells),
+                    ):
+                        runs[cell] = run
+                        if events:
+                            _obs.absorb(events)
+    finally:
+        # Finalize even on a failed run so partial traces (e.g. a
+        # StageFailure with some cells completed) still yield a journal.
+        if own_trace:
+            _journal.finalize(f"matrix-{len(cells)}cells")
     return {cell: runs[cell] for cell in cells}

@@ -1,0 +1,600 @@
+"""Stage-graph pipelined scheduler for the evaluation matrix.
+
+The cell-granularity pool (:mod:`repro.flow.parallel`, ``schedule="cell"``)
+ships whole (design, arch) cells to workers: each worker walks
+synthesis -> physical -> route_a -> packing -> route_b serially, so once
+the number of remaining cells drops below the worker count, cores idle —
+the matrix wall-clock is ``ceil(cells / jobs) x cell_time`` even though
+the stages themselves are independently schedulable units.
+
+This module decomposes the matrix into an explicit task DAG of
+(cell, stage) nodes — 40 tasks for the paper's full 8-cell matrix —
+whose edges come straight from :data:`repro.flow.flow.STAGE_INPUTS`
+(the same relation the sha256 cache-key chain mirrors), and executes it
+on a persistent warm worker pool with critical-path-first priority:
+cell B's synthesis overlaps cell A's physical stage, and the wall-clock
+approaches ``max(critical_path, total_work / jobs)``.
+
+Three mechanisms keep scheduling overhead low:
+
+* **Artifact passing by cache reference.**  Tasks communicate through
+  the content-addressed stage cache (:mod:`repro.flow.cache`): a task
+  writes its artifact under its stage key, dependents read it locally
+  in their own worker — nothing but small task-spec/result tuples ever
+  crosses the executor.  With caching disabled the scheduler substitutes
+  a private *transport* cache in a temporary directory that is deleted
+  when the run ends, so ``use_cache=False`` still recomputes everything
+  and persists nothing.
+* **Worker-local artifact LRU.**  Each worker keeps its last few
+  deserialized artifacts keyed by (stage, key); a worker that runs
+  consecutive stages of the same cell never touches the pickle at all.
+* **Cache-aware dedup.**  DAG nodes whose (stage, key) is already
+  claimed by another node collapse onto it (duplicate cells share one
+  computation), and nodes whose key already exists in the cache are
+  marked done before the pool ever sees them — a warm matrix runs zero
+  tasks.
+
+Determinism is preserved by construction: stages are pure functions of
+(inputs, options, seed), every task records results under content
+addresses, and result assembly walks cells in input order — so serial,
+``schedule="cell"``, and ``schedule="stage"`` runs are bit-identical at
+any worker count (asserted in ``tests/test_scheduler.py``).
+
+A stage task that raises fails only the cells that transitively depend
+on it: its original traceback is captured in the worker, unaffected
+cells complete normally, and the run ends with :class:`StageFailure`
+carrying both the traceback and every completed cell's result.
+"""
+
+from __future__ import annotations
+
+import heapq
+import sys
+import tempfile
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs import core as _obs
+from .cache import CacheStats, StageCache, cache_globally_disabled
+from .flow import (
+    _RECURSION_LIMIT,
+    STAGE_INPUTS,
+    STAGES,
+    DesignRun,
+    compute_stage,
+    guard_stage,
+    stage_keys,
+)
+from .options import FlowOptions
+
+Cell = Tuple[str, str]
+
+#: Relative stage cost weights for critical-path-first priorities,
+#: from the measured full-scale profile (DESIGN.md section 6: physical
+#: dominates, synthesis and packing follow, routing is cheap).  Only the
+#: *ordering* of ready tasks depends on these; results never do.
+STAGE_WEIGHTS: Dict[str, float] = {
+    "synthesis": 3.0,
+    "physical": 6.0,
+    "route_a": 1.0,
+    "packing": 2.0,
+    "route_b": 1.0,
+}
+
+
+class StageFailure(RuntimeError):
+    """A stage task raised; only its dependent cells were lost.
+
+    ``cell``/``stage`` locate the first failing task, ``traceback_text``
+    is the original worker-side traceback, ``failed`` lists every
+    (cell, stage) pair that failed or was skipped because an upstream
+    task failed, and ``completed`` maps every unaffected cell to its
+    finished :class:`~repro.flow.flow.DesignRun`.
+    """
+
+    def __init__(
+        self,
+        cell: Cell,
+        stage: str,
+        traceback_text: str,
+        failed: List[Tuple[Cell, str]],
+        completed: Dict[Cell, DesignRun],
+    ):
+        self.cell = cell
+        self.stage = stage
+        self.traceback_text = traceback_text
+        self.failed = failed
+        self.completed = completed
+        lost = sorted({f"{c[0]}/{c[1]}" for c, _stage in failed})
+        super().__init__(
+            f"stage task {stage} failed for cell {cell[0]}/{cell[1]} "
+            f"(cells lost: {', '.join(lost)}; "
+            f"{len(completed)} cell(s) completed)\n"
+            f"--- original worker traceback ---\n{traceback_text}"
+        )
+
+
+@dataclass
+class _Task:
+    """One (cell, stage) node of the task DAG."""
+
+    tid: int
+    cell: Cell                    # primary cell (first to claim the key)
+    stage: str
+    key: str
+    deps: Set[int] = field(default_factory=set)
+    dependents: List[int] = field(default_factory=list)
+    cells: List[Cell] = field(default_factory=list)  # all attached cells
+    priority: float = 0.0
+    #: pending -> running -> done | failed | skipped; "cached" tasks are
+    #: born done (their key was already in the cache).
+    state: str = "pending"
+    waiting: int = 0              # unfinished dependency count
+    hit: bool = False
+    elapsed: float = 0.0
+    stats: Optional[CacheStats] = None
+    events: Optional[List[dict]] = None
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    """The picklable description a worker needs to run one task."""
+
+    tid: int
+    design: str
+    arch: str
+    stage: str
+    scale: float
+    key: str
+    input_keys: Tuple[Tuple[str, str], ...]  # ((stage, key), ...)
+    cache_root: str
+    options: FlowOptions
+    observe: bool
+
+
+# ----------------------------------------------------------------------
+# DAG construction
+# ----------------------------------------------------------------------
+
+def build_task_graph(
+    cells: Sequence[Cell],
+    cell_keys: Dict[Cell, Dict[str, str]],
+    cached: Optional[Set[Tuple[str, str]]] = None,
+) -> List[_Task]:
+    """The task DAG for ``cells`` given each cell's stage-key chain.
+
+    Pure data transformation (no I/O) so tests can drive it directly:
+    nodes dedup on (stage, key) — a later cell whose stage resolves to
+    an already-claimed key attaches to the existing node — and nodes
+    whose key appears in ``cached`` are born ``state="cached"`` with a
+    hit recorded.  Dependency edges mirror
+    :data:`repro.flow.flow.STAGE_INPUTS`; priorities are
+    critical-path-first (a node's priority is its own weight plus the
+    heaviest path below it), tie-broken by task id so the ready order
+    is deterministic.
+    """
+    cached = cached or set()
+    tasks: List[_Task] = []
+    by_key: Dict[Tuple[str, str], int] = {}
+    for cell in cells:
+        mine: Dict[str, int] = {}
+        for stage in STAGES:
+            key = cell_keys[cell][stage]
+            existing = by_key.get((stage, key))
+            if existing is not None:
+                tasks[existing].cells.append(cell)
+                mine[stage] = existing
+                continue
+            tid = len(tasks)
+            task = _Task(tid=tid, cell=cell, stage=stage, key=key)
+            task.cells.append(cell)
+            if (stage, key) in cached:
+                task.state = "cached"
+                task.hit = True
+            else:
+                for parent in STAGE_INPUTS[stage]:
+                    dep = mine[parent]
+                    if tasks[dep].state != "cached":
+                        task.deps.add(dep)
+                        tasks[dep].dependents.append(tid)
+            task.waiting = len(task.deps)
+            tasks.append(task)
+            by_key[(stage, key)] = tid
+            mine[stage] = tid
+    # Critical-path priorities: dependents always carry larger ids (a
+    # node's deps exist before it), so one reverse sweep suffices.
+    for task in reversed(tasks):
+        below = max(
+            (tasks[d].priority for d in task.dependents), default=0.0
+        )
+        task.priority = STAGE_WEIGHTS.get(task.stage, 1.0) + below
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Worker-local artifact LRU keyed by (stage, key).  A worker that runs
+#: consecutive stages of one cell hits this and never re-deserializes;
+#: sized to hold a full cell's artifacts plus a neighbor's.
+_LRU: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+_LRU_CAPACITY = 8
+
+
+def _lru_get(entry: Tuple[str, str]):
+    artifact = _LRU.get(entry)
+    if artifact is not None:
+        _LRU.move_to_end(entry)
+        _obs.counter("sched.lru.hit")
+    return artifact
+
+
+def _lru_put(entry: Tuple[str, str], artifact) -> None:
+    _LRU[entry] = artifact
+    _LRU.move_to_end(entry)
+    while len(_LRU) > _LRU_CAPACITY:
+        _LRU.popitem(last=False)
+
+
+def _fetch(cache: StageCache, stage: str, key: str):
+    """LRU -> cache lookup for one artifact (None on miss)."""
+    artifact = _lru_get((stage, key))
+    if artifact is None:
+        artifact = cache.get(stage, key)
+        if artifact is not None:
+            _lru_put((stage, key), artifact)
+    return artifact
+
+
+def _resolve(
+    cache: StageCache, spec: _TaskSpec, stage: str, keys: Dict[str, str]
+):
+    """Load one artifact by key, recomputing its chain if it is gone.
+
+    The normal path is a single cache read (the upstream task wrote the
+    artifact before this task was scheduled).  If the entry has been
+    evicted or corrupted in between, the worker self-heals by
+    recomputing the missing prefix locally — slower, never wrong.
+    """
+    artifact = _fetch(cache, stage, keys[stage])
+    if artifact is not None:
+        return artifact
+    _obs.counter("sched.input_recompute")
+    inputs = {
+        parent: _resolve(cache, spec, parent, keys)
+        for parent in STAGE_INPUTS[stage]
+    }
+    netlist = None
+    if stage == "synthesis":
+        from .experiments import build_design
+
+        netlist = build_design(spec.design, spec.scale)
+    artifact = compute_stage(stage, spec.options, inputs, netlist=netlist)
+    cache.put(stage, keys[stage], artifact)
+    _lru_put((stage, keys[stage]), artifact)
+    return artifact
+
+
+def _run_stage_task(spec: _TaskSpec) -> tuple:
+    """Worker body: ensure one stage artifact exists under its key.
+
+    Returns ``(tid, hit, elapsed, cache_stats, events, error)`` — never
+    raises: a failure is captured as its formatted traceback so the
+    parent can fail exactly the dependent cells and keep the rest of
+    the matrix running.
+    """
+    if sys.getrecursionlimit() < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    own_trace = spec.observe and _obs.begin()
+    cache = StageCache(root=Path(spec.cache_root), respect_env=False)
+    options = spec.options
+    keys = dict(spec.input_keys)
+    keys[spec.stage] = spec.key
+    error: Optional[str] = None
+    hit = False
+    start = time.perf_counter()  # check: allow(DT002) stage timing report only
+    try:
+        with _obs.span(
+            f"flow.{spec.stage}", stage=spec.stage, design=spec.design,
+            arch=spec.arch, sched="stage",
+        ) as sp:
+            artifact = _fetch(cache, spec.stage, spec.key)
+            hit = artifact is not None
+            inputs: Dict[str, object] = {}
+            if not hit or options.check:
+                inputs = {
+                    parent: _resolve(cache, spec, parent, keys)
+                    for parent in STAGE_INPUTS[spec.stage]
+                }
+            if not hit:
+                netlist = None
+                if spec.stage == "synthesis":
+                    from .experiments import build_design
+
+                    netlist = build_design(spec.design, spec.scale)
+                artifact = compute_stage(
+                    spec.stage, options, inputs, netlist=netlist
+                )
+                cache.put(spec.stage, spec.key, artifact)
+                _lru_put((spec.stage, spec.key), artifact)
+            if options.check:
+                guard_stage(
+                    spec.stage, options,
+                    {**inputs, spec.stage: artifact},
+                    f"{spec.design}/{spec.arch}",
+                )
+            sp.set(cached=hit)
+    except Exception:
+        error = traceback.format_exc()
+    elapsed = time.perf_counter() - start  # check: allow(DT002) stage timing report only
+    events = _obs.drain() if own_trace else None
+    return spec.tid, hit, elapsed, cache.stats, events, error
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+def _observing(options: FlowOptions) -> bool:
+    return options.observe or _obs.env_requested()
+
+
+def run_stage_graph(
+    cells: Sequence[Cell],
+    scale: float,
+    options: FlowOptions,
+    jobs: int,
+) -> Dict[Cell, DesignRun]:
+    """Run the matrix as a pipelined (cell, stage) task DAG.
+
+    The result dict is keyed by cell in input order and is bit-identical
+    to the serial and cell-pool paths for any ``jobs``.  Raises
+    :class:`StageFailure` when any task fails (after every unaffected
+    cell has completed).
+    """
+    from .experiments import build_design
+    from .parallel import _warm_worker
+
+    cells = list(dict.fromkeys(cells))
+    transport: Optional[tempfile.TemporaryDirectory] = None
+    if options.use_cache and not cache_globally_disabled():
+        cache = StageCache()
+    else:
+        transport = tempfile.TemporaryDirectory(prefix="repro-stage-ipc-")
+        cache = StageCache(root=Path(transport.name), respect_env=False)
+    try:
+        return _run_graph(cells, scale, options, jobs, cache, build_design,
+                          _warm_worker)
+    finally:
+        if transport is not None:
+            transport.cleanup()
+
+
+def _run_graph(
+    cells: List[Cell],
+    scale: float,
+    options: FlowOptions,
+    jobs: int,
+    cache: StageCache,
+    build_design,
+    warm_worker,
+) -> Dict[Cell, DesignRun]:
+    observe = _observing(options)
+    designs = {}
+    for design, _arch in cells:
+        if design not in designs:
+            designs[design] = build_design(design, scale)
+    cell_options = {
+        cell: options.with_arch(cell[1]) for cell in cells
+    }
+    cell_keys = {
+        cell: stage_keys(cache, designs[cell[0]], cell_options[cell])
+        for cell in cells
+    }
+    cached_keys = {
+        (stage, keys[stage])
+        for keys in cell_keys.values()
+        for stage in STAGES
+        if cache.has(stage, keys[stage])
+    }
+    tasks = build_task_graph(cells, cell_keys, cached=cached_keys)
+    cell_tasks: Dict[Cell, Dict[str, _Task]] = {cell: {} for cell in cells}
+    for task in tasks:
+        for cell in task.cells:
+            cell_tasks[cell][task.stage] = task
+
+    runnable = [t for t in tasks if t.state == "pending"]
+    with _obs.span(
+        "sched.graph", cells=len(cells), tasks=len(tasks),
+        precached=len(tasks) - len(runnable), jobs=jobs,
+    ):
+        if runnable:
+            _execute(tasks, runnable, cells, cell_options, cell_keys,
+                     scale, cache, jobs, observe, warm_worker)
+        # Merge worker trace fragments in task order — deterministic for
+        # any worker count or completion order.
+        for task in tasks:
+            if task.events:
+                _obs.absorb(task.events)
+
+        failed: List[Tuple[Cell, str]] = []
+        lost_cells: Set[Cell] = set()
+        for task in tasks:
+            if task.state in ("failed", "skipped"):
+                for cell in task.cells:
+                    failed.append((cell, task.stage))
+                    lost_cells.add(cell)
+
+        runs: Dict[Cell, DesignRun] = {}
+        for cell in cells:
+            if cell in lost_cells:
+                continue
+            runs[cell] = _assemble(
+                cell, designs[cell[0]], cell_options[cell],
+                cell_keys[cell], cell_tasks[cell], cache,
+            )
+
+    if failed:
+        first = min(
+            (t for t in tasks if t.state == "failed"), key=lambda t: t.tid
+        )
+        raise StageFailure(
+            cell=first.cell, stage=first.stage,
+            traceback_text=first.error or "",
+            failed=failed, completed=runs,
+        )
+    return runs
+
+
+def _execute(
+    tasks: List[_Task],
+    runnable: List[_Task],
+    cells: List[Cell],
+    cell_options: Dict[Cell, FlowOptions],
+    cell_keys: Dict[Cell, Dict[str, str]],
+    scale: float,
+    cache: StageCache,
+    jobs: int,
+    observe: bool,
+    warm_worker,
+) -> None:
+    """Drive the pool: highest-priority ready task first, until drained."""
+    ready: List[Tuple[float, int]] = [
+        (-t.priority, t.tid) for t in runnable if t.waiting == 0
+    ]
+    heapq.heapify(ready)
+    arch_names = tuple(dict.fromkeys(arch for _design, arch in cells))
+    workers = max(1, min(jobs, len(runnable)))
+    inflight: Dict[object, int] = {}
+
+    def spec_for(task: _Task) -> _TaskSpec:
+        cell = task.cell
+        keys = cell_keys[cell]
+        return _TaskSpec(
+            tid=task.tid, design=cell[0], arch=cell[1], stage=task.stage,
+            scale=scale, key=task.key,
+            input_keys=tuple(
+                (parent, keys[parent])
+                for parent in STAGE_INPUTS[task.stage]
+            ),
+            cache_root=str(cache.root), options=cell_options[cell],
+            observe=observe,
+        )
+
+    def skip_dependents(tid: int) -> None:
+        stack = list(tasks[tid].dependents)
+        while stack:
+            dependent = tasks[stack.pop()]
+            if dependent.state in ("skipped", "failed"):
+                continue
+            dependent.state = "skipped"
+            stack.extend(dependent.dependents)
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=warm_worker,
+        initargs=(arch_names,),
+    ) as pool:
+        while ready or inflight:
+            while ready and len(inflight) < workers:
+                _neg, tid = heapq.heappop(ready)
+                task = tasks[tid]
+                if task.state != "pending":  # skipped while queued
+                    continue
+                task.state = "running"
+                _obs.point(
+                    "sched.dispatch", task=tid, stage=task.stage,
+                    design=task.cell[0], arch=task.cell[1],
+                    priority=task.priority,
+                )
+                inflight[pool.submit(_run_stage_task, spec_for(task))] = tid
+            if not inflight:
+                continue
+            done, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                tid = inflight.pop(future)
+                task = tasks[tid]
+                _tid, hit, elapsed, stats, events, error = future.result()
+                task.hit = hit
+                task.elapsed = elapsed
+                task.stats = stats
+                task.events = events
+                _obs.point(
+                    "sched.task", task=tid, stage=task.stage,
+                    design=task.cell[0], arch=task.cell[1],
+                    cached=hit, seconds=elapsed,
+                    outcome="error" if error else "ok",
+                )
+                if error is not None:
+                    task.state = "failed"
+                    task.error = error
+                    skip_dependents(tid)
+                    continue
+                task.state = "done"
+                for did in task.dependents:
+                    dependent = tasks[did]
+                    if dependent.state != "pending":
+                        continue
+                    dependent.waiting -= 1
+                    if dependent.waiting == 0:
+                        heapq.heappush(
+                            ready, (-dependent.priority, dependent.tid)
+                        )
+
+
+def _assemble(
+    cell: Cell,
+    netlist,
+    options: FlowOptions,
+    keys: Dict[str, str],
+    stage_tasks: Dict[str, _Task],
+    cache: StageCache,
+) -> DesignRun:
+    """Build one cell's DesignRun from its content-addressed artifacts.
+
+    Reads through a private cache handle so per-cell read stats stay
+    separable; if any artifact fails to load (evicted or corrupted
+    after its task ran), falls back to :func:`repro.flow.flow.run_design`
+    on the same cache, which recomputes exactly the missing stages.
+    """
+    reader = StageCache(root=cache.root, respect_env=False)
+    reader.enabled = cache.enabled
+    artifacts: Dict[str, object] = {}
+    for stage in STAGES:
+        artifact = reader.get(stage, keys[stage])
+        if artifact is None:
+            from .flow import run_design
+
+            _obs.counter("sched.assembly_recompute")
+            return run_design(netlist, cell[1], options, cache=reader)
+        artifacts[stage] = artifact
+
+    stats = CacheStats()
+    for stage, task in stage_tasks.items():
+        # A task's worker-side cache traffic is attributed to its
+        # primary cell only, so dedup never double-counts volume.
+        if task.stats is not None and task.cell == cell:
+            stats.merge(task.stats)
+    stats.merge(reader.stats)
+    run = DesignRun(
+        design=netlist.name,
+        arch_name=cell[1],
+        synthesis=artifacts["synthesis"],
+        physical=artifacts["physical"],
+        flow_a=artifacts["route_a"],
+        flow_b=artifacts["route_b"],
+        packed=artifacts["packing"],
+        stage_seconds={
+            stage: stage_tasks[stage].elapsed for stage in STAGES
+        },
+        stage_cached={stage: stage_tasks[stage].hit for stage in STAGES},
+        cache_stats=stats,
+    )
+    return run

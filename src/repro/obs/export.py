@@ -148,6 +148,64 @@ def chrome_trace(events: List[Dict]) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Scheduler Gantt (stage-graph runs)
+# ----------------------------------------------------------------------
+
+def format_gantt(events: List[Dict], width: int = 64) -> str:
+    """ASCII Gantt chart of stage-graph scheduler tasks, one lane per worker.
+
+    Uses the ``flow.<stage>`` spans tagged ``sched="stage"`` that the
+    scheduler's workers record (:mod:`repro.flow.scheduler`); each bar is
+    one (cell, stage) task positioned on the merged matrix timeline, so
+    pipeline overlap — cell B's synthesis under cell A's physical stage —
+    is directly visible.  Journals without scheduler spans (serial or
+    cell-pool runs) get a short hint instead.
+    """
+    spans = [
+        e for e in events
+        if e.get("ev") == "span"
+        and str(e.get("name", "")).startswith("flow.")
+        and (e.get("attrs") or {}).get("sched") == "stage"
+    ]
+    if not spans:
+        return (
+            "no scheduler task spans in this journal — record one with "
+            "`repro tables --jobs N --schedule stage --trace`"
+        )
+    t0 = min(e.get("ts", 0.0) for e in spans)
+    t1 = max(e.get("ts", 0.0) + e.get("dur", 0.0) for e in spans)
+    total = max(t1 - t0, 1e-9)
+    lanes = sorted({e.get("pid", 0) for e in spans})
+    lines = [
+        f"scheduler Gantt: {len(spans)} stage tasks over {total:.3f} s "
+        f"on {len(lanes)} worker(s)"
+    ]
+    for pid in lanes:
+        lines.append(f"worker {pid}:")
+        lane = sorted(
+            (e for e in spans if e.get("pid") == pid),
+            key=lambda e: e.get("ts", 0.0),
+        )
+        for e in lane:
+            attrs = e.get("attrs") or {}
+            label = (
+                f"{attrs.get('design', '?')}/{attrs.get('arch', '?')}"
+                f":{attrs.get('stage', '?')}"
+            )
+            if attrs.get("cached"):
+                label += " (cached)"
+            start = int((e.get("ts", t0) - t0) / total * width)
+            start = min(start, width - 1)
+            length = max(1, round(e.get("dur", 0.0) / total * width))
+            bar = " " * start + "#" * min(length, width - start)
+            lines.append(
+                f"  {label:30s} |{bar:<{width}s}| "
+                f"{e.get('dur', 0.0) * 1000.0:9.2f} ms"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Metrics merging + summaries
 # ----------------------------------------------------------------------
 

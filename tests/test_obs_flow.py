@@ -165,7 +165,10 @@ class TestParallelMergedJournal:
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journals"))
-        options = replace(FAST, observe=True)
+        # Pinned to the cell pool: its workers run whole run_design calls,
+        # which is what this journal shape asserts.  The stage scheduler's
+        # journal shape is covered in test_scheduler.py.
+        options = replace(FAST, observe=True, schedule="cell")
         runs = run_cells(MATRIX_CELLS, 0.2, options, jobs=2)
         assert list(runs) == MATRIX_CELLS
 

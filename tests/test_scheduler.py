@@ -1,0 +1,312 @@
+"""Tests for the stage-graph scheduler (``repro.flow.scheduler``).
+
+Three contracts:
+
+* **Structure** — the task DAG mirrors ``STAGE_INPUTS`` exactly, dedups
+  nodes on (stage, key), collapses already-cached keys, and orders ready
+  tasks critical-path-first.
+* **Determinism** — serial, ``schedule="cell"``, and ``schedule="stage"``
+  produce bit-identical tables at any ``--jobs``; the transport path
+  (``use_cache=False``) persists nothing.
+* **Failure isolation** — a raising stage task fails only the cells that
+  transitively depend on it, surfaces the original worker traceback, and
+  leaves every other cell's finished result intact.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.flow.flow import STAGE_INPUTS, STAGES
+from repro.flow.options import FlowOptions
+from repro.flow.parallel import run_cells
+from repro.flow.scheduler import (
+    STAGE_WEIGHTS,
+    StageFailure,
+    build_task_graph,
+)
+
+from test_parallel_cache import _table_text
+
+FAST = FlowOptions(
+    place_effort=0.05, place_iterations=1, pack_iterations=1, seed=11
+)
+CELLS = [("alu", "granular"), ("alu", "lut")]
+SCALE = 0.15
+
+
+def _keys_for(cells, tag=""):
+    """Synthetic per-cell stage-key chains (unique unless cells repeat)."""
+    return {
+        cell: {stage: f"{tag}{cell[0]}-{cell[1]}-{stage}" for stage in STAGES}
+        for cell in cells
+    }
+
+
+class TestTaskGraph:
+    def test_full_matrix_is_forty_tasks(self):
+        cells = [(d, a) for d in ("alu", "firewire", "fpu", "netswitch")
+                 for a in ("granular", "lut")]
+        tasks = build_task_graph(cells, _keys_for(cells))
+        assert len(tasks) == 40
+        assert all(t.state == "pending" for t in tasks)
+
+    def test_edges_mirror_stage_inputs(self):
+        cells = CELLS[:1]
+        tasks = build_task_graph(cells, _keys_for(cells))
+        by_stage = {t.stage: t for t in tasks}
+        for stage, parents in STAGE_INPUTS.items():
+            assert by_stage[stage].deps == {
+                by_stage[p].tid for p in parents
+            }
+        for stage in STAGES:
+            assert by_stage[stage].waiting == len(STAGE_INPUTS[stage])
+
+    def test_duplicate_cells_collapse(self):
+        cells = [("alu", "granular"), ("alu", "granular2")]
+        keys = _keys_for(cells)
+        # Same design + options -> identical chains for both cells.
+        keys[cells[1]] = keys[cells[0]]
+        tasks = build_task_graph(cells, keys)
+        assert len(tasks) == len(STAGES)
+        assert all(t.cells == cells for t in tasks)
+
+    def test_cached_nodes_collapse_and_unblock_dependents(self):
+        cells = CELLS[:1]
+        keys = _keys_for(cells)
+        cached = {
+            ("synthesis", keys[cells[0]]["synthesis"]),
+            ("physical", keys[cells[0]]["physical"]),
+        }
+        tasks = build_task_graph(cells, keys, cached=cached)
+        by_stage = {t.stage: t for t in tasks}
+        assert by_stage["synthesis"].state == "cached"
+        assert by_stage["synthesis"].hit
+        assert by_stage["physical"].state == "cached"
+        # route_a/packing depend only on cached stages: ready at once.
+        assert by_stage["route_a"].waiting == 0
+        assert by_stage["packing"].waiting == 0
+        # route_b still waits on the (uncached) packing task.
+        assert by_stage["route_b"].deps == {by_stage["packing"].tid}
+
+    def test_priorities_are_critical_path_first(self):
+        cells = CELLS[:1]
+        tasks = build_task_graph(cells, _keys_for(cells))
+        prio = {t.stage: t.priority for t in tasks}
+        # Leaves carry their own weight; interior nodes add the heaviest
+        # downstream path.
+        assert prio["route_b"] == STAGE_WEIGHTS["route_b"]
+        assert prio["route_a"] == STAGE_WEIGHTS["route_a"]
+        assert prio["packing"] == pytest.approx(
+            STAGE_WEIGHTS["packing"] + prio["route_b"]
+        )
+        assert prio["physical"] == pytest.approx(
+            STAGE_WEIGHTS["physical"] + max(prio["route_a"], prio["packing"])
+        )
+        assert prio["synthesis"] == pytest.approx(
+            STAGE_WEIGHTS["synthesis"] + prio["physical"]
+        )
+        assert (
+            prio["synthesis"] > prio["physical"] > prio["packing"]
+            > prio["route_a"]
+        )
+
+
+class TestBitIdenticalSchedules:
+    def test_all_schedules_identical_at_all_job_counts(
+        self, tmp_path, monkeypatch
+    ):
+        """Serial vs cell pool vs stage graph at jobs 1/2/4: same bytes.
+
+        Cache off, so every run recomputes every stage from scratch —
+        any drift between the execution modes would change the
+        full-precision table text.
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        options = replace(FAST, use_cache=False)
+        serial = _table_text(
+            run_cells(CELLS, SCALE, replace(options, schedule="cell"), jobs=1)
+        )
+        variants = {
+            "cell@2": run_cells(
+                CELLS, SCALE, replace(options, schedule="cell"), jobs=2
+            ),
+            "stage@1": run_cells(CELLS, SCALE, options, jobs=1),
+            "stage@2": run_cells(CELLS, SCALE, options, jobs=2),
+            "stage@4": run_cells(CELLS, SCALE, options, jobs=4),
+        }
+        for label, runs in variants.items():
+            assert list(runs) == CELLS, label
+            assert _table_text(runs) == serial, label
+
+    def test_stage_runs_report_all_stages(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runs = run_cells(CELLS, SCALE, FAST, jobs=2)
+        for cell in CELLS:
+            run = runs[cell]
+            assert set(run.stage_seconds) == set(STAGES)
+            assert set(run.stage_cached) == set(STAGES)
+            assert run.cache_stats is not None
+            assert "total" in run.performance_report()
+
+    def test_warm_cache_collapses_every_task(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold = run_cells(CELLS, SCALE, FAST, jobs=2)
+        warm = run_cells(CELLS, SCALE, FAST, jobs=2)
+        for cell in CELLS:
+            assert all(warm[cell].stage_cached.values())
+            assert not any(cold[cell].stage_cached.values())
+            assert warm[cell].flow_b.die_area == cold[cell].flow_b.die_area
+            assert (
+                warm[cell].flow_a.average_slack
+                == cold[cell].flow_a.average_slack
+            )
+
+    def test_transport_mode_persists_nothing(self, tmp_path, monkeypatch):
+        """use_cache=False still runs the graph but leaves zero files."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runs = run_cells(
+            CELLS, SCALE, replace(FAST, use_cache=False), jobs=2
+        )
+        assert list(runs) == CELLS
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_no_cache_env_uses_transport(self, tmp_path, monkeypatch):
+        """REPRO_NO_CACHE=1 must not break stage-mode IPC."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        runs = run_cells(CELLS, SCALE, FAST, jobs=2)
+        assert list(runs) == CELLS
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            run_cells(CELLS, SCALE, replace(FAST, schedule="warp"), jobs=2)
+
+
+def _inject_lut_packing_fault(monkeypatch):
+    """Make the packing stage raise for the LUT architecture only.
+
+    Patches the module-global the stage registry dispatches through;
+    pool workers are forked after the patch, so they inherit it.
+    """
+    from repro.flow import flow as flow_mod
+
+    real = flow_mod._pack_stage
+
+    def boom(synthesis, physical, options):
+        if options.arch == "lut":
+            raise RuntimeError("injected packing fault")
+        return real(synthesis, physical, options)
+
+    monkeypatch.setattr(flow_mod, "_pack_stage", boom)
+
+
+class TestFailureIsolation:
+    def test_stage_failure_fails_only_dependent_cells(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        _inject_lut_packing_fault(monkeypatch)
+        with pytest.raises(StageFailure) as excinfo:
+            run_cells(CELLS, SCALE, FAST, jobs=2)
+        failure = excinfo.value
+        assert failure.cell == ("alu", "lut")
+        assert failure.stage == "packing"
+        # The original worker traceback is surfaced, both as a field and
+        # in the exception text.
+        assert "injected packing fault" in failure.traceback_text
+        assert "RuntimeError" in failure.traceback_text
+        assert "injected packing fault" in str(failure)
+        # Only packing and its dependent route_b were lost, only for lut.
+        assert set(failure.failed) == {
+            (("alu", "lut"), "packing"),
+            (("alu", "lut"), "route_b"),
+        }
+        # The unaffected cell finished with a complete result.
+        assert set(failure.completed) == {("alu", "granular")}
+        survivor = failure.completed[("alu", "granular")]
+        assert survivor.flow_b.die_area > 0
+        assert set(survivor.stage_seconds) == set(STAGES)
+
+    def test_completed_cell_matches_clean_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+        clean = run_cells(CELLS[:1], SCALE, FAST, jobs=2)[("alu", "granular")]
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "faulty"))
+        _inject_lut_packing_fault(monkeypatch)
+        with pytest.raises(StageFailure) as excinfo:
+            run_cells(CELLS, SCALE, FAST, jobs=2)
+        survivor = excinfo.value.completed[("alu", "granular")]
+        assert survivor.flow_b.die_area == clean.flow_b.die_area
+        assert survivor.flow_a.average_slack == clean.flow_a.average_slack
+
+    def test_cell_pool_propagates_worker_error(self, tmp_path, monkeypatch):
+        """The legacy pool's error contract, mirrored for comparison: the
+        worker exception propagates out of run_cells (losing the other
+        cells' results — exactly what StageFailure improves on)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        _inject_lut_packing_fault(monkeypatch)
+        with pytest.raises(RuntimeError, match="injected packing fault"):
+            run_cells(
+                CELLS, SCALE, replace(FAST, schedule="cell"), jobs=2
+            )
+
+
+class TestStageModeJournal:
+    def test_matrix_produces_one_merged_journal(self, tmp_path, monkeypatch):
+        from repro.obs import export, journal
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journals"))
+        runs = run_cells(CELLS, SCALE, replace(FAST, observe=True), jobs=2)
+        assert list(runs) == CELLS
+
+        journals = list((tmp_path / "journals").glob("*.jsonl"))
+        assert len(journals) == 1, "workers must not write their own journals"
+        events = journal.read_journal(journals[0])
+
+        run_cells_spans = [
+            e for e in events
+            if e["ev"] == "span" and e["name"] == "run_cells"
+        ]
+        assert len(run_cells_spans) == 1
+        assert run_cells_spans[0]["attrs"]["schedule"] == "stage"
+        graph_spans = [
+            e for e in events
+            if e["ev"] == "span" and e["name"] == "sched.graph"
+        ]
+        assert len(graph_spans) == 1
+        assert graph_spans[0]["attrs"]["tasks"] == len(CELLS) * len(STAGES)
+        assert graph_spans[0]["attrs"]["precached"] == 0
+
+        # One flow.<stage> span per (cell, stage) task, worker-recorded.
+        task_spans = [
+            e for e in events
+            if e["ev"] == "span"
+            and e["name"].startswith("flow.")
+            and (e.get("attrs") or {}).get("sched") == "stage"
+        ]
+        assert len(task_spans) == len(CELLS) * len(STAGES)
+
+        # Scheduler dispatch/completion points for every task.
+        points = [e for e in events if e["ev"] == "point"]
+        names = [e["name"] for e in points]
+        assert names.count("sched.dispatch") == len(CELLS) * len(STAGES)
+        assert names.count("sched.task") == len(CELLS) * len(STAGES)
+        outcomes = {
+            e["attrs"]["outcome"]
+            for e in points
+            if e["name"] == "sched.task"
+        }
+        assert outcomes == {"ok"}
+
+        # The journal renders as a Gantt with one bar per task.
+        gantt = export.format_gantt(events)
+        assert f"{len(CELLS) * len(STAGES)} stage tasks" in gantt
+        assert "alu/granular:physical" in gantt
+
+    def test_gantt_on_sched_free_journal_hints(self):
+        from repro.obs import export
+
+        assert "no scheduler task spans" in export.format_gantt([])
