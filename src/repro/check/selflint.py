@@ -66,8 +66,9 @@ DT005 = rule(
     "no builtin hash() outside __hash__ (salted per process)",
 )
 
-#: Module path fragments exempt from DT002: timestamps are their job.
-TIME_EXEMPT_PARTS = ("obs",)
+#: Module path fragments exempt from DT002: timestamps are their job
+#: (obs records them; the serve job server schedules with them).
+TIME_EXEMPT_PARTS = ("obs", "serve")
 
 #: Shared-state random.* functions (the module-level global RNG).
 _GLOBAL_RANDOM_FNS = {

@@ -34,6 +34,13 @@ Commands
 ``stats [JOURNAL]``
     Print a journal's metric summaries (counters, gauges, histogram
     percentiles); ``--prometheus`` emits Prometheus exposition text.
+``serve``
+    Run the flow-as-a-service job server (REST API, persistent
+    coalescing queue, graceful drain on SIGTERM) — see DESIGN.md §9.
+``submit DESIGN`` / ``jobs``
+    Thin HTTP clients for a running server: submit a job (``--wait``
+    streams progress and prints the result) and list/inspect/cancel
+    jobs.
 
 All human narration goes through a shared :class:`Reporter`; the global
 ``--quiet`` flag silences progress text and ``--json`` mode guarantees
@@ -112,7 +119,7 @@ def _cmd_flow(args: argparse.Namespace, reporter: Reporter) -> int:
         print(exc.report.format(), file=sys.stderr)
         return 1
     if args.json:
-        reporter.payload(run.summary())
+        reporter.payload(run.metrics() if args.metrics_only else run.summary())
     else:
         st = run.synthesis.stats
         reporter.out(f"  mapped: {st.n_instances} instances "
@@ -378,13 +385,31 @@ def _resolve_journal(args: argparse.Namespace, reporter: Reporter):
     return path
 
 
+def _read_journal_or_complain(path) -> Optional[list]:
+    """Load a journal for trace/stats; one-line stderr on any defect."""
+    from .obs import journal as obs_journal
+
+    try:
+        events = obs_journal.read_journal(path)
+    except (ValueError, OSError) as exc:
+        print(f"cannot read journal: {exc}", file=sys.stderr)
+        return None
+    if not events:
+        print(f"journal {path} is empty — nothing to report",
+              file=sys.stderr)
+        return None
+    return events
+
+
 def _cmd_trace(args: argparse.Namespace, reporter: Reporter) -> int:
-    from .obs import export, journal as obs_journal
+    from .obs import export
 
     path = _resolve_journal(args, reporter)
     if path is None:
         return 1
-    events = obs_journal.read_journal(path)
+    events = _read_journal_or_complain(path)
+    if events is None:
+        return 1
     reporter.info(f"journal: {path}")
     if args.chrome:
         doc = export.chrome_trace(events)
@@ -401,17 +426,137 @@ def _cmd_trace(args: argparse.Namespace, reporter: Reporter) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace, reporter: Reporter) -> int:
-    from .obs import export, journal as obs_journal
+    from .obs import export
 
     path = _resolve_journal(args, reporter)
     if path is None:
         return 1
-    events = obs_journal.read_journal(path)
+    events = _read_journal_or_complain(path)
+    if events is None:
+        return 1
     reporter.info(f"journal: {path}")
     if args.prometheus:
         reporter.out(export.prometheus_text(events))
     else:
         reporter.out(export.format_stats(events))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        flow_jobs=args.flow_jobs,
+        queue_limit=args.queue_limit,
+        queue_dir=Path(args.queue_dir) if args.queue_dir else None,
+    )
+    # The listening line goes through ``out`` (not ``info``) so wrappers
+    # can discover an ephemeral --port 0 even under --quiet tooling.
+    return run_server(config, log=reporter.out)
+
+
+def _serve_client(args: argparse.Namespace):
+    from .serve.client import ServeClient
+
+    return ServeClient(args.server)
+
+
+def _cmd_submit(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .serve.client import ServeError
+
+    client = _serve_client(args)
+    options = {"seed": args.seed, "place_effort": args.effort}
+    try:
+        ticket = client.submit(
+            kind=args.kind,
+            design=args.design if args.kind != "tables" else None,
+            arch=args.arch,
+            scale=args.scale,
+            options=options,
+            priority=args.priority,
+            timeout_seconds=args.timeout,
+        )
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    reporter.info(f"submitted {ticket['id']} (state: {ticket['state']}"
+                  + (f", coalesced into {ticket['coalesced_into']}"
+                     if ticket.get("coalesced_into") else "") + ")")
+    if not args.wait:
+        if args.json:
+            reporter.payload(ticket)
+        else:
+            reporter.out(ticket["id"])
+        return 0
+
+    def on_event(event: dict) -> None:
+        attrs = event.get("attrs") or {}
+        detail = " ".join(
+            f"{k}={attrs[k]}" for k in sorted(attrs) if k != "id"
+        )
+        reporter.info(f"  {event.get('name')}: {detail}")
+
+    try:
+        job = client.wait(ticket["id"], timeout=args.timeout_wait,
+                          on_event=on_event)
+    except (ServeError, TimeoutError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if job["state"] != "done":
+        print(f"job {job['id']} {job['state']}: {job.get('error') or ''}",
+              file=sys.stderr)
+        return 1
+    result = job.get("result") or {}
+    if args.json:
+        # Exactly the payload `repro run --json --metrics-only` prints
+        # for kind=flow: served and direct runs are byte-comparable.
+        reporter.payload(result.get("metrics", result))
+    else:
+        for key in ("table1", "table2"):
+            if result.get(key):
+                reporter.out(result[key])
+                reporter.out("")
+        if not result.get("table1"):
+            reporter.payload(result.get("metrics", result))
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace, reporter: Reporter) -> int:
+    from .serve.client import ServeError
+
+    client = _serve_client(args)
+    try:
+        if args.cancel:
+            outcome = client.cancel(args.cancel)
+            reporter.out(f"{outcome['id']}: {outcome['state']}")
+            return 0
+        if args.job:
+            job = client.job(args.job)
+            reporter.payload(job)
+            return 0
+        jobs = client.jobs()
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        reporter.payload({"jobs": jobs})
+        return 0
+    if not jobs:
+        reporter.out("no jobs")
+        return 0
+    for job in jobs:
+        spec = job.get("spec", {})
+        what = spec.get("design") or spec.get("kind")
+        note = (f" -> {job['coalesced_into']}"
+                if job.get("coalesced_into") else "")
+        reporter.out(
+            f"{job['id']}  {job['state']:9s} {spec.get('kind', '?'):6s} "
+            f"{what or '?':9s} {spec.get('arch', '-'):8s} "
+            f"prio={spec.get('priority', '?')}{note}"
+        )
     return 0
 
 
@@ -440,6 +585,11 @@ def _add_flow_arguments(flow: argparse.ArgumentParser) -> None:
                            "events) under results/journals/")
     flow.add_argument("--json", action="store_true",
                       help="emit a machine-readable run summary on stdout")
+    flow.add_argument("--metrics-only", action="store_true",
+                      help="with --json: emit only the deterministic "
+                           "metrics subset (no timings/cache/journal "
+                           "fields) — byte-identical to a served job's "
+                           "result")
     flow.add_argument("--check", action="store_true",
                       help="audit stage artifacts at every flow boundary; "
                            "a fatal finding aborts the run")
@@ -586,6 +736,70 @@ def build_parser() -> argparse.ArgumentParser:
                             "results/journals/)")
     stats.add_argument("--prometheus", action="store_true",
                        help="emit Prometheus exposition text instead")
+
+    serve = sub.add_parser(
+        "serve", help="run the flow-as-a-service job server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8157,
+                       help="listen port (0 = ephemeral; the chosen port "
+                            "is printed on startup)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent job executor threads")
+    serve.add_argument("--flow-jobs", type=int, default=1,
+                       dest="flow_jobs",
+                       help="subprocess budget shared by running "
+                            "'tables' jobs (1 = every job serial)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       dest="queue_limit",
+                       help="max queued jobs before submissions get "
+                            "429 + Retry-After (0 = reject any backlog)")
+    serve.add_argument("--queue-dir", default=None, metavar="PATH",
+                       help="queue journal root (default: "
+                            "$REPRO_QUEUE_DIR or <cache root>/serve); "
+                            "restarting on the same root resumes "
+                            "unfinished jobs")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running repro server"
+    )
+    submit.add_argument("design", nargs="?", default=None,
+                        help=f"design to run (one of "
+                             f"{', '.join(DESIGN_CHOICES)}; omit for "
+                             f"--kind tables)")
+    submit.add_argument("--server", default="http://127.0.0.1:8157",
+                        help="server base URL")
+    submit.add_argument("--kind", choices=["flow", "tables", "check"],
+                        default="flow")
+    submit.add_argument("--arch", choices=["lut", "granular"],
+                        default="granular")
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--effort", type=float, default=0.2,
+                        help="placement effort (1.0 = full anneal)")
+    submit.add_argument("--priority", choices=["high", "normal", "low"],
+                        default="normal")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="server-side job timeout in seconds")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream progress and print the result")
+    submit.add_argument("--timeout-wait", type=float, default=None,
+                        dest="timeout_wait",
+                        help="client-side limit for --wait, seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="print the job ticket / result as JSON")
+
+    jobs = sub.add_parser(
+        "jobs", help="list, inspect, or cancel jobs on a repro server"
+    )
+    jobs.add_argument("job", nargs="?", default=None,
+                      help="job id to show in full (default: list all)")
+    jobs.add_argument("--server", default="http://127.0.0.1:8157",
+                      help="server base URL")
+    jobs.add_argument("--cancel", default=None, metavar="ID",
+                      help="cancel the given job instead of listing")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit the listing as JSON")
     return parser
 
 
@@ -606,6 +820,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args, reporter)
 

@@ -31,7 +31,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from ..cells.characterize import TimingLibrary, characterize_library
 from ..obs import core as _obs
@@ -50,7 +50,13 @@ from ..synth.from_netlist import CombCore, extract_core
 from ..synth.optimize import optimize
 from ..synth.techmap import map_core
 from ..timing.sta import TimingReport, analyze
-from .cache import CacheStats, NullCache, StageCache, canonical_netlist
+from .cache import (
+    CacheStats,
+    NullCache,
+    StageCache,
+    canonical_netlist,
+    stable_hash,
+)
 from .options import FlowOptions
 
 #: Deep mapped netlists recurse through reconstruction helpers.
@@ -82,6 +88,25 @@ STAGE_KEY_PARENT: Dict[str, Optional[str]] = {
     "packing": "physical",
     "route_b": "packing",
 }
+
+
+class FlowCancelled(RuntimeError):
+    """A flow run was cancelled at a stage boundary.
+
+    Raised by :func:`run_design` when its ``cancel`` hook returns True
+    between stages.  ``completed`` lists the stages whose artifacts were
+    finished (and are therefore already in the content-addressed stage
+    cache — a resubmission of the same request resumes warm from them);
+    ``next_stage`` is the stage that was about to run.
+    """
+
+    def __init__(self, next_stage: str, completed: tuple):
+        self.next_stage = next_stage
+        self.completed = completed
+        super().__init__(
+            f"flow cancelled before stage {next_stage!r} "
+            f"(completed: {', '.join(completed) or 'none'})"
+        )
 
 
 #: Custom architectures registered for flow runs, by name.
@@ -227,6 +252,26 @@ class DesignRun:
             "cache": cache,
             "journal": str(self.journal_path) if self.journal_path else None,
         }
+
+    #: ``summary()`` keys that vary between otherwise-identical runs
+    #: (wall times, cache traffic, journal paths) — everything else is a
+    #: pure function of (netlist, options, seed).
+    VOLATILE_SUMMARY_KEYS = (
+        "stage_seconds", "stage_cached", "total_seconds", "cache", "journal",
+    )
+
+    def metrics(self) -> Dict:
+        """The deterministic subset of :meth:`summary`.
+
+        Byte-for-byte reproducible for a given (design, options, seed):
+        a run served through ``repro submit --wait`` and a local
+        ``repro run --json --metrics-only`` of the same request emit
+        identical JSON (asserted in ``tests/test_serve.py`` and CI).
+        """
+        doc = self.summary()
+        for key in self.VOLATILE_SUMMARY_KEYS:
+            doc.pop(key, None)
+        return doc
 
     def performance_report(self) -> str:
         """Per-stage wall time and cache events, one line per stage."""
@@ -465,6 +510,22 @@ def stage_keys(
     return keys
 
 
+def request_key(
+    cache: StageCache, netlist: Netlist, options: FlowOptions
+) -> str:
+    """The sha256 identity of one flow request, for coalescing.
+
+    Derived from the full stage-cache key chain, so it inherits the
+    chain's contract exactly: performance knobs (``jobs``, ``schedule``,
+    ``use_cache``, ``observe``, ``sa_engine``) do not participate, and
+    two requests share a key if and only if every stage of one would be
+    a cache hit for the other.  ``repro.serve`` coalesces concurrent
+    submissions with equal keys onto a single execution.
+    """
+    keys = stage_keys(cache, netlist, options)
+    return stable_hash("request", *(keys[stage] for stage in STAGES))
+
+
 def compute_stage(
     stage: str,
     options: FlowOptions,
@@ -548,6 +609,8 @@ def run_design(
     arch,
     options: Optional[FlowOptions] = None,
     cache: Optional[StageCache] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[str, bool, float], None]] = None,
 ) -> DesignRun:
     """Run both flows for one design on one architecture.
 
@@ -565,6 +628,15 @@ def run_design(
     unchanged prefixes are reused.  A cache hit yields a result equal in
     value to a cold computation — determinism of every stage per seed is
     what makes the cache sound.
+
+    ``cancel``, when given, is polled at every stage boundary; once it
+    returns True the run raises :class:`FlowCancelled` instead of
+    starting the next stage.  Finished stages are already persisted in
+    the cache, so a cancelled (or drained) run checkpoints for free: the
+    same request resubmitted later resumes warm.  ``progress`` is called
+    after each completed stage with ``(stage, cache_hit, seconds)`` —
+    the hook ``repro.serve`` uses to stream per-stage job progress.
+    Neither hook ever changes computed results.
     """
     if isinstance(netlist, str):
         from ..designs import DESIGN_BUILDERS
@@ -619,8 +691,12 @@ def run_design(
     ):
         keys = stage_keys(cache, netlist, options)
         for stage in STAGES:
+            if cancel is not None and cancel():
+                raise FlowCancelled(stage, tuple(artifacts))
             artifacts[stage] = staged(stage, keys[stage])
             guard_stage(stage, options, artifacts, f"{netlist.name}/{arch}")
+            if progress is not None:
+                progress(stage, cached[stage], seconds[stage])
 
     run = DesignRun(
         design=netlist.name,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
 
 from ..timing.sta import DEFAULT_CLOCK_PERIOD_NS
 
@@ -71,3 +71,25 @@ class FlowOptions:
         from dataclasses import replace
 
         return replace(self, arch=arch)
+
+    # -- JSON round-trip (job submissions, ``repro.serve``) ------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The options as a plain JSON-ready dict (field name -> value)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowOptions":
+        """Rebuild options from a (possibly partial) JSON dict.
+
+        Unknown keys raise :class:`ValueError` — a typo in a job
+        submission must be rejected at admission, not silently ignored
+        (it would change which cache chain the request coalesces onto).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown flow option(s) {unknown} "
+                f"(choices: {sorted(known)})"
+            )
+        return cls(**data)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import core as _obs
 from ..obs import journal as _journal
@@ -97,6 +97,7 @@ def run_cells(
     scale: float,
     options: FlowOptions,
     jobs: Optional[int] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Dict[Tuple[str, str], DesignRun]:
     """Run every (design, arch) cell, serially or across processes.
 
@@ -116,6 +117,14 @@ def run_cells(
     worker event fragments are absorbed in a deterministic order (cell
     order for the cell pool, task order for the stage graph) and written
     by the parent at the end.
+
+    ``cancel`` is polled between cells (serial path) or between task
+    dispatches (stage graph); once it returns True the run raises
+    :class:`~repro.flow.scheduler.SchedulerInterrupted` after an orderly
+    shutdown.  Completed stages are already in the stage cache, so a
+    rerun of the same matrix resumes warm.  (The legacy cell pool has no
+    mid-cell hook; ``repro.serve`` always cancels via the serial or
+    stage-graph paths.)
     """
     jobs = resolve_jobs(jobs)
     schedule = options.schedule
@@ -127,8 +136,14 @@ def run_cells(
     runs: Dict[Tuple[str, str], DesignRun] = {}
     try:
         if jobs <= 1 or (schedule == "cell" and len(cells) <= 1):
+            from .scheduler import SchedulerInterrupted
+
             with _obs.span("run_cells", cells=len(cells), jobs=1):
-                for cell in cells:
+                for index, cell in enumerate(cells):
+                    if cancel is not None and cancel():
+                        raise SchedulerInterrupted(
+                            done=index, pending=len(cells) - index
+                        )
                     runs[cell] = _run_cell(cell, scale, options)[1]
         elif schedule == "stage":
             from .scheduler import run_stage_graph
@@ -136,7 +151,8 @@ def run_cells(
             with _obs.span(
                 "run_cells", cells=len(cells), jobs=jobs, schedule="stage"
             ):
-                runs = run_stage_graph(cells, scale, options, jobs)
+                runs = run_stage_graph(cells, scale, options, jobs,
+                                       cancel=cancel)
         else:
             arch_names = tuple(
                 dict.fromkeys(arch for _design, arch in cells)

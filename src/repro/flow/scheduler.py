@@ -57,7 +57,7 @@ from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs import core as _obs
 from .cache import CacheStats, StageCache, cache_globally_disabled
@@ -85,6 +85,26 @@ STAGE_WEIGHTS: Dict[str, float] = {
     "packing": 2.0,
     "route_b": 1.0,
 }
+
+
+class SchedulerInterrupted(RuntimeError):
+    """The stage-graph run was cancelled before the DAG drained.
+
+    Raised when the ``cancel`` hook fires (or re-raised alongside a
+    ``KeyboardInterrupt``) after the orderly shutdown path ran: queued
+    futures cancelled, in-flight stage tasks finished (their artifacts
+    land in the cache, so a rerun resumes warm), the dispatch heap
+    drained, and the transport directory cleaned.  ``done`` counts tasks
+    that completed; ``pending`` counts tasks that never ran.
+    """
+
+    def __init__(self, done: int, pending: int):
+        self.done = done
+        self.pending = pending
+        super().__init__(
+            f"stage-graph run interrupted: {done} task(s) completed, "
+            f"{pending} cancelled before running"
+        )
 
 
 class StageFailure(RuntimeError):
@@ -351,6 +371,7 @@ def run_stage_graph(
     scale: float,
     options: FlowOptions,
     jobs: int,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Dict[Cell, DesignRun]:
     """Run the matrix as a pipelined (cell, stage) task DAG.
 
@@ -358,6 +379,13 @@ def run_stage_graph(
     to the serial and cell-pool paths for any ``jobs``.  Raises
     :class:`StageFailure` when any task fails (after every unaffected
     cell has completed).
+
+    ``cancel`` is polled between dispatches; once it returns True the
+    run shuts down in order — no new tasks dispatched, queued futures
+    cancelled, in-flight tasks finished (their artifacts stay cached) —
+    and raises :class:`SchedulerInterrupted`.  A ``KeyboardInterrupt``
+    (Ctrl-C mid-matrix) takes the same orderly path and is re-raised.
+    Either way the transport directory is always cleaned up.
     """
     from .experiments import build_design
     from .parallel import _warm_worker
@@ -371,7 +399,7 @@ def run_stage_graph(
         cache = StageCache(root=Path(transport.name), respect_env=False)
     try:
         return _run_graph(cells, scale, options, jobs, cache, build_design,
-                          _warm_worker)
+                          _warm_worker, cancel)
     finally:
         if transport is not None:
             transport.cleanup()
@@ -385,6 +413,7 @@ def _run_graph(
     cache: StageCache,
     build_design,
     warm_worker,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Dict[Cell, DesignRun]:
     observe = _observing(options)
     designs = {}
@@ -417,7 +446,7 @@ def _run_graph(
     ):
         if runnable:
             _execute(tasks, runnable, cells, cell_options, cell_keys,
-                     scale, cache, jobs, observe, warm_worker)
+                     scale, cache, jobs, observe, warm_worker, cancel)
         # Merge worker trace fragments in task order — deterministic for
         # any worker count or completion order.
         for task in tasks:
@@ -464,6 +493,7 @@ def _execute(
     jobs: int,
     observe: bool,
     warm_worker,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> None:
     """Drive the pool: highest-priority ready task first, until drained."""
     ready: List[Tuple[float, int]] = [
@@ -497,56 +527,95 @@ def _execute(
             dependent.state = "skipped"
             stack.extend(dependent.dependents)
 
+    def interrupt(pool) -> None:
+        """Orderly shutdown: drain the heap, cancel queued futures, let
+        in-flight tasks finish (their artifacts are already headed for
+        the cache), and mark everything unrun as skipped."""
+        ready.clear()
+        for future in list(inflight):
+            future.cancel()
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # a dead worker must not mask the interrupt
+            pass
+        for task in tasks:
+            if task.state in ("pending", "running"):
+                task.state = "skipped"
+        _obs.point(
+            "sched.interrupted",
+            done=sum(1 for t in tasks if t.state in ("done", "cached")),
+            skipped=sum(1 for t in tasks if t.state == "skipped"),
+        )
+
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=warm_worker,
         initargs=(arch_names,),
     ) as pool:
-        while ready or inflight:
-            while ready and len(inflight) < workers:
-                _neg, tid = heapq.heappop(ready)
-                task = tasks[tid]
-                if task.state != "pending":  # skipped while queued
-                    continue
-                task.state = "running"
-                _obs.point(
-                    "sched.dispatch", task=tid, stage=task.stage,
-                    design=task.cell[0], arch=task.cell[1],
-                    priority=task.priority,
-                )
-                inflight[pool.submit(_run_stage_task, spec_for(task))] = tid
-            if not inflight:
-                continue
-            done, _pending = wait(inflight, return_when=FIRST_COMPLETED)
-            for future in done:
-                tid = inflight.pop(future)
-                task = tasks[tid]
-                _tid, hit, elapsed, stats, events, error = future.result()
-                task.hit = hit
-                task.elapsed = elapsed
-                task.stats = stats
-                task.events = events
-                _obs.point(
-                    "sched.task", task=tid, stage=task.stage,
-                    design=task.cell[0], arch=task.cell[1],
-                    cached=hit, seconds=elapsed,
-                    outcome="error" if error else "ok",
-                )
-                if error is not None:
-                    task.state = "failed"
-                    task.error = error
-                    skip_dependents(tid)
-                    continue
-                task.state = "done"
-                for did in task.dependents:
-                    dependent = tasks[did]
-                    if dependent.state != "pending":
+        try:
+            while ready or inflight:
+                if cancel is not None and cancel():
+                    interrupt(pool)
+                    raise SchedulerInterrupted(
+                        done=sum(
+                            1 for t in tasks
+                            if t.state in ("done", "cached")
+                        ),
+                        pending=sum(
+                            1 for t in tasks if t.state == "skipped"
+                        ),
+                    )
+                while ready and len(inflight) < workers:
+                    _neg, tid = heapq.heappop(ready)
+                    task = tasks[tid]
+                    if task.state != "pending":  # skipped while queued
                         continue
-                    dependent.waiting -= 1
-                    if dependent.waiting == 0:
-                        heapq.heappush(
-                            ready, (-dependent.priority, dependent.tid)
-                        )
+                    task.state = "running"
+                    _obs.point(
+                        "sched.dispatch", task=tid, stage=task.stage,
+                        design=task.cell[0], arch=task.cell[1],
+                        priority=task.priority,
+                    )
+                    inflight[pool.submit(_run_stage_task, spec_for(task))] = tid
+                if not inflight:
+                    continue
+                done, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    tid = inflight.pop(future)
+                    task = tasks[tid]
+                    _tid, hit, elapsed, stats, events, error = future.result()
+                    task.hit = hit
+                    task.elapsed = elapsed
+                    task.stats = stats
+                    task.events = events
+                    _obs.point(
+                        "sched.task", task=tid, stage=task.stage,
+                        design=task.cell[0], arch=task.cell[1],
+                        cached=hit, seconds=elapsed,
+                        outcome="error" if error else "ok",
+                    )
+                    if error is not None:
+                        task.state = "failed"
+                        task.error = error
+                        skip_dependents(tid)
+                        continue
+                    task.state = "done"
+                    for did in task.dependents:
+                        dependent = tasks[did]
+                        if dependent.state != "pending":
+                            continue
+                        dependent.waiting -= 1
+                        if dependent.waiting == 0:
+                            heapq.heappush(
+                                ready, (-dependent.priority, dependent.tid)
+                            )
+        except KeyboardInterrupt:
+            # Ctrl-C mid-matrix (or a worker-side interrupt surfaced by
+            # future.result()): take the same orderly path, then let the
+            # interrupt propagate — run_stage_graph's finally still
+            # removes the transport directory.
+            interrupt(pool)
+            raise
 
 
 def _assemble(

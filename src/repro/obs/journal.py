@@ -18,7 +18,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from . import core
 
@@ -96,6 +96,44 @@ def read_journal(path) -> List[Dict]:
                     f"{path}:{lineno}: not a valid journal line: {exc}"
                 ) from exc
     return events
+
+
+def tail_journal(path, offset: int = 0) -> Tuple[List[Dict], int]:
+    """Incrementally read a growing JSONL journal.
+
+    Returns ``(events, new_offset)``: every complete event line that
+    starts at or after byte ``offset``, plus the offset to resume from.
+    A partially written final line (a writer mid-append) is left for the
+    next call, and a malformed complete line is skipped rather than
+    raised — a live tail must tolerate a torn or corrupt write without
+    killing the stream.  A missing file yields ``([], offset)``, so
+    tailing can begin before the journal exists.
+
+    This is the primitive behind job progress streaming in
+    :mod:`repro.serve`: the server appends obs-format events per job and
+    the ``/v1/jobs/{id}/events`` endpoint serves them from ``offset``.
+    """
+    events: List[Dict] = []
+    try:
+        with Path(path).open("rb") as handle:
+            handle.seek(offset)
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    break  # torn tail: re-read it once the writer finishes
+                offset += len(line)
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    events.append(json.loads(text))
+                except json.JSONDecodeError:
+                    continue
+    except OSError:
+        return events, offset
+    return events, offset
 
 
 def latest_journal(directory: Optional[Path] = None) -> Optional[Path]:

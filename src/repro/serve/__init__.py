@@ -1,0 +1,37 @@
+"""Flow-as-a-service: a stdlib-only job server over the repro flow.
+
+``repro serve`` runs the daemon; ``repro submit`` / ``repro jobs`` are
+the CLI clients; :class:`~repro.serve.client.ServeClient` is the
+library interface.  DESIGN.md §9 documents the architecture (REST API,
+persistent coalescing queue, bounded executor, graceful drain).
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import KINDS, PRIORITIES, Job, JobSpec, derive_request_key
+from .queue import JobQueue, QueueFull
+from .server import (
+    DEFAULT_PORT,
+    Executor,
+    ReproServer,
+    ServeConfig,
+    default_queue_dir,
+    run_server,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Executor",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "KINDS",
+    "PRIORITIES",
+    "QueueFull",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "default_queue_dir",
+    "derive_request_key",
+    "run_server",
+]

@@ -1,0 +1,158 @@
+"""Thin urllib client for the repro job server.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI subcommands,
+``examples/serve_sweep.py``, and the test suite.  Zero dependencies —
+``urllib.request`` plus JSON — so any machine that can run the flow can
+also talk to a server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure, carrying the status and decoded body."""
+
+    def __init__(self, status: int, payload: Any, url: str):
+        self.status = status
+        self.payload = payload
+        self.url = url
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status} from {url}: {detail}")
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = (self.payload or {}).get("retry_after") \
+            if isinstance(self.payload, dict) else None
+        return value
+
+
+class ServeClient:
+    """Synchronous client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return self._decode(response)
+        except urllib.error.HTTPError as exc:
+            body = self._decode(exc)
+            retry_after = exc.headers.get("Retry-After")
+            if isinstance(body, dict) and retry_after is not None:
+                body = dict(body, retry_after=int(retry_after))
+            raise ServeError(exc.code, body, url) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, {"error": str(exc.reason)}, url) from None
+
+    @staticmethod
+    def _decode(response: Any) -> Any:
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        text = raw.decode("utf-8", errors="replace")
+        if "json" in content_type:
+            try:
+                return json.loads(text)
+            except json.JSONDecodeError:
+                return text
+        return text
+
+    # -- API -----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str = "flow",
+        design: Optional[str] = None,
+        arch: str = "granular",
+        scale: float = 0.5,
+        options: Optional[Dict[str, Any]] = None,
+        priority: str = "normal",
+        timeout_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": kind, "arch": arch, "scale": scale,
+            "options": options or {}, "priority": priority,
+        }
+        if design is not None:
+            payload["design"] = design
+        if timeout_seconds is not None:
+            payload["timeout_seconds"] = timeout_seconds
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def events(
+        self, job_id: str, since: int = 0, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        return self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/events?since={since}&wait={wait}",
+            timeout=max(self.timeout, wait + 10.0),
+        )
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/v1/metrics")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 5.0,
+        on_event: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its full record.
+
+        Progress is consumed through the long-poll events endpoint (so
+        waiting is mostly server-side, not a client spin); ``on_event``
+        receives each progress event as it arrives.
+        """
+        deadline = time.monotonic() + timeout if timeout else None
+        offset = 0
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still not terminal after {timeout}s"
+                )
+            chunk = self.events(job_id, since=offset, wait=poll)
+            offset = chunk["next_offset"]
+            if on_event is not None:
+                for event in chunk["events"]:
+                    on_event(event)
+            if chunk["state"] in ("done", "failed", "cancelled"):
+                return self.job(job_id)

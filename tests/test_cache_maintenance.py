@@ -275,3 +275,97 @@ class TestCacheCli:
         assert main(["cache", "--dir", str(tmp_path), "gc",
                      "--max-size", "plenty"]) == 2
         assert "unparsable size" in capsys.readouterr().err
+
+
+class TestConcurrentAccess:
+    """gc racing live ``get``/``put`` traffic must never corrupt or
+    crash — the serve executor collects garbage while jobs run."""
+
+    def test_gc_racing_get_and_put(self, tmp_path):
+        import threading
+
+        cache = StageCache(root=tmp_path, enabled=True)
+        payload = {"vector": list(range(256))}
+        stop = threading.Event()
+        failures = []
+
+        def churn(worker: int) -> None:
+            try:
+                n = 0
+                while not stop.is_set():
+                    key = cache.key("synthesis", "churn", worker, n % 17)
+                    cache.put("synthesis", key, payload)
+                    got = cache.get("synthesis", key)
+                    # Eviction between put and get is legal; a value,
+                    # when present, must be intact.
+                    if got is not None and got != payload:
+                        failures.append((worker, n, got))
+                    n += 1
+            except Exception as exc:  # noqa: BLE001 - record, don't hang
+                failures.append((worker, "exception", repr(exc)))
+
+        threads = [
+            threading.Thread(target=churn, args=(w,)) for w in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(25):
+                report = collect_garbage(root=tmp_path, max_bytes=4096)
+                assert report.errors == 0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert failures == []
+        # The cache stays fully usable after the churn.
+        key = cache.key("synthesis", "after")
+        cache.put("synthesis", key, payload)
+        assert cache.get("synthesis", key) == payload
+
+    def test_gc_subprocess_racing_writer(self, tmp_path):
+        """A real ``repro cache gc`` process racing in-process writes."""
+        import subprocess
+        import sys
+        import threading
+        from pathlib import Path
+
+        cache = StageCache(root=tmp_path, enabled=True)
+        stop = threading.Event()
+        failures = []
+
+        def churn() -> None:
+            try:
+                n = 0
+                while not stop.is_set():
+                    key = cache.key("physical", "sub", n % 13)
+                    cache.put("physical", key, n)
+                    value = cache.get("physical", key)
+                    if value is not None and value != n:
+                        failures.append((n, value))
+                    n += 1
+            except Exception as exc:  # noqa: BLE001
+                failures.append(("exception", repr(exc)))
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parents[1] / "src")
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH")) if p
+            )
+            for _ in range(3):
+                proc = subprocess.run(
+                    [sys.executable, "-m", "repro", "cache",
+                     "--dir", str(tmp_path), "gc", "--max-size", "2K",
+                     "--json"],
+                    capture_output=True, text=True, env=env, timeout=120,
+                )
+                assert proc.returncode == 0, proc.stderr
+                report = json.loads(proc.stdout)
+                assert report["errors"] == 0
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+        assert failures == []

@@ -288,3 +288,80 @@ class TestExport:
             if line.startswith("repro_lat_bucket")
         ]
         assert bucket_counts == sorted(bucket_counts)  # cumulative
+
+
+class TestTailJournal:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        events, offset = journal.tail_journal(tmp_path / "nope.jsonl", 0)
+        assert events == [] and offset == 0
+
+    def test_incremental_reads_resume_at_offset(self, tmp_path):
+        path = tmp_path / "grow.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n', encoding="utf-8")
+        events, offset = journal.tail_journal(path, 0)
+        assert [e["n"] for e in events] == [1, 2]
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"n": 3}\n')
+        events, offset = journal.tail_journal(path, offset)
+        assert [e["n"] for e in events] == [3]
+        assert journal.tail_journal(path, offset) == ([], offset)
+
+    def test_torn_tail_is_left_for_next_call(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2', encoding="utf-8")
+        events, offset = journal.tail_journal(path, 0)
+        assert [e["n"] for e in events] == [1]
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('}\n')
+        events, offset = journal.tail_journal(path, offset)
+        assert [e["n"] for e in events] == [2]
+
+    def test_corrupt_complete_line_is_skipped(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not json at all\n{"n": 2}\n', encoding="utf-8")
+        events, _offset = journal.tail_journal(path, 0)
+        assert [e.get("n") for e in events] == [2]
+
+
+class TestTraceStatsCliErrors:
+    """``repro stats`` / ``repro trace`` fail with one clear line, never
+    a traceback, on missing, empty, or corrupt journals."""
+
+    @pytest.mark.parametrize("command", ["stats", "trace"])
+    def test_empty_journal_dir(self, command, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "none"))
+        assert main([command]) == 1
+        err = capsys.readouterr().err
+        assert "no journals under" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", ["stats", "trace"])
+    def test_missing_journal_path(self, command, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([command, str(tmp_path / "gone.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "no journal at" in err
+
+    @pytest.mark.parametrize("command", ["stats", "trace"])
+    def test_corrupt_journal(self, command, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "corrupt.jsonl"
+        bad.write_text('{"ev": "span"\n', encoding="utf-8")
+        assert main([command, str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read journal" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", ["stats", "trace"])
+    def test_empty_journal_file(self, command, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main([command, str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "is empty" in err

@@ -310,3 +310,83 @@ class TestStageModeJournal:
         from repro.obs import export
 
         assert "no scheduler task spans" in export.format_gantt([])
+
+
+class TestInterruption:
+    """Graceful interruption: the ``cancel`` hook and KeyboardInterrupt
+    both shut the pool down in order and always clean the transport
+    directory (the serve executor's cancellation path rides on this)."""
+
+    def test_cancel_hook_interrupts_serial_path(self, tmp_path, monkeypatch):
+        from repro.flow.scheduler import SchedulerInterrupted
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with pytest.raises(SchedulerInterrupted, match="0 task"):
+            run_cells(CELLS, SCALE, FAST, jobs=1, cancel=lambda: True)
+
+    def test_cancel_after_first_cell_reports_progress(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.flow.scheduler import SchedulerInterrupted
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        polls = iter([False, True, True, True])
+        with pytest.raises(SchedulerInterrupted) as err:
+            run_cells(CELLS, SCALE, FAST, jobs=1,
+                      cancel=lambda: next(polls))
+        assert "1 task(s) completed" in str(err.value)
+
+    def test_cancel_hook_interrupts_stage_graph(self, tmp_path, monkeypatch):
+        from repro.flow.scheduler import SchedulerInterrupted
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with pytest.raises(SchedulerInterrupted):
+            run_cells(CELLS, SCALE, FAST, jobs=2, cancel=lambda: True)
+
+    def test_interrupted_transport_dir_is_cleaned(
+        self, tmp_path, monkeypatch
+    ):
+        import tempfile
+
+        from repro.flow.scheduler import SchedulerInterrupted
+
+        transport_root = tmp_path / "transport"
+        transport_root.mkdir()
+        monkeypatch.setattr(tempfile, "tempdir", str(transport_root))
+        options = replace(FAST, use_cache=False)
+        with pytest.raises(SchedulerInterrupted):
+            run_cells(CELLS, SCALE, options, jobs=2, cancel=lambda: True)
+        leftovers = list(transport_root.iterdir())
+        assert leftovers == [], f"transport dirs leaked: {leftovers}"
+
+    def test_keyboard_interrupt_takes_orderly_path(
+        self, tmp_path, monkeypatch
+    ):
+        import tempfile
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        transport_root = tmp_path / "transport"
+        transport_root.mkdir()
+        monkeypatch.setattr(tempfile, "tempdir", str(transport_root))
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        options = replace(FAST, use_cache=False)
+        with pytest.raises(KeyboardInterrupt):
+            run_cells(CELLS, SCALE, options, jobs=2, cancel=interrupted)
+        assert list(transport_root.iterdir()) == []
+
+    def test_partial_results_resume_warm(self, tmp_path, monkeypatch):
+        """A cancelled matrix rerun reuses every completed stage."""
+        from repro.flow.scheduler import SchedulerInterrupted
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        polls = iter([False] * 3 + [True] * 200)
+        with pytest.raises(SchedulerInterrupted):
+            run_cells(CELLS, SCALE, FAST, jobs=2, cancel=lambda: next(polls))
+        runs = run_cells(CELLS, SCALE, FAST, jobs=1)
+        hits = sum(
+            sum(run.stage_cached.values()) for run in runs.values()
+        )
+        assert hits >= 2, "interrupted progress must persist in the cache"
