@@ -5,8 +5,12 @@ Two analyzer families share one findings model:
 * **Artifact checks** audit the outputs of each flow stage — netlists,
   realization tables, placements, packings, routing results — without
   re-executing the stage, plus a small-cone formal equivalence oracle.
-* **Self checks** (:mod:`repro.check.selflint`) lint the ``repro``
-  source tree itself for determinism hazards.
+* **Self checks** lint the ``repro`` source tree itself:
+  :mod:`repro.check.selflint` for determinism hazards (``DT``) and
+  :mod:`repro.check.concurrency` for lock-order inversions, locks held
+  across blocking calls, unguarded shared writes, and condition-variable
+  misuse (``CC``), validated at runtime by the opt-in
+  :mod:`repro.check.lockwatch` sanitizer (``REPRO_LOCKWATCH=1``).
 
 Entry points: ``repro check`` on the CLI, ``FlowOptions(check=True)``
 inside the flow, or the functions re-exported here.
@@ -25,6 +29,8 @@ from .place_rules import check_placement
 from .route_rules import check_routing
 from .equiv_rules import check_equivalence
 from .selflint import lint_paths, lint_source
+from .concurrency import analyze_paths, analyze_source
+from .lockwatch import findings_from_journal
 from .runner import (
     CHECK_STAGES,
     check_design_run,
@@ -53,6 +59,9 @@ __all__ = [
     "check_equivalence",
     "lint_paths",
     "lint_source",
+    "analyze_paths",
+    "analyze_source",
+    "findings_from_journal",
     "CHECK_STAGES",
     "check_design_run",
     "check_stage",

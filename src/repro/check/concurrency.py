@@ -1,0 +1,1034 @@
+"""Concurrency static analysis over the repro codebase (family ``CC``).
+
+PRs 6-7 made the reproduction a threaded system: a stage-graph
+scheduler over persistent worker pools and a ``ThreadingHTTPServer``
+job service with a condition-guarded queue, shared metrics locks, and
+drain events.  This pass proves the locking discipline of that layer
+*by construction*, the way the source paper proves PLB coverage by
+exhaustively enumerating the 256 3-input functions: it enumerates every
+lock-acquisition order and every shared-attribute access site in the
+``ast`` of the analyzed modules and checks them against four rules.
+
+``CC001``
+    The whole-program lock graph must be acyclic.  An edge ``A -> B``
+    means some code path acquires ``B`` while holding ``A`` (directly,
+    or through the call graph); a cycle means two threads can deadlock
+    by taking the locks in opposite orders.  Acquiring a non-reentrant
+    ``threading.Lock`` that is already held is the degenerate
+    single-lock case and is flagged too.
+``CC002``
+    No blocking call while a lock is held: ``subprocess`` launches,
+    socket/HTTP sends, disk I/O (``open`` / ``Path.open`` / ``fsync``),
+    ``time.sleep``, thread ``join``, and ``wait`` on *another*
+    synchronization object all stall every thread contending for the
+    held lock.  (``Condition.wait`` on the held condition itself is the
+    designed use and is exempt — unless additional locks are held
+    across the wait.)
+``CC003``
+    Guarded-somewhere means guarded-everywhere: an attribute of a
+    lock-owning class that is written under the lock on one code path
+    and without it on another is a data race; so is an unguarded write
+    reachable from two distinct thread entry points
+    (``Thread(target=...)``, ``do_*`` HTTP handler methods, executor
+    callbacks).  Construction (``__init__`` and helpers reachable only
+    from it) is single-threaded and exempt.
+``CC004``
+    Condition-variable discipline: ``wait()`` must re-check its
+    predicate in a ``while`` loop (or use ``wait_for``), and
+    ``notify()`` / ``notify_all()`` require the condition's lock held.
+
+Findings on deliberate, justified sites are suppressed with an inline
+``# check: allow(CCnnn)`` comment, same as the DT family.  The static
+lock graph is validated against *observed* executions by the runtime
+sanitizer in :mod:`repro.check.lockwatch` (rule ``CC005``).
+
+Scope and soundness: the analysis resolves ``self.method()`` calls,
+``self.attr.method()`` calls where ``attr`` was assigned a class
+constructed in an analyzed module (or annotated with one), and
+module-level function calls.  Calls through locals, callables passed as
+values, and cross-object lock aliasing (two names for one runtime lock)
+are not tracked — lockwatch covers the residue at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .findings import Finding, Severity
+from .rules import Rule, rule
+from .selflint import default_lint_root, suppressed_lines
+
+CC001 = rule(
+    "CC001", Severity.ERROR, "self",
+    "lock-acquisition orders must be cycle-free (deadlock)",
+)
+CC002 = rule(
+    "CC002", Severity.WARNING, "self",
+    "no blocking calls while holding a lock",
+)
+CC003 = rule(
+    "CC003", Severity.ERROR, "self",
+    "shared attributes guarded somewhere must be guarded everywhere",
+)
+CC004 = rule(
+    "CC004", Severity.ERROR, "self",
+    "condition waits re-check in a loop; notifies hold the lock",
+)
+
+#: threading factory -> synchronization-object kind.
+_FACTORY_KINDS: Dict[str, str] = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "Event": "event",
+    "Semaphore": "semaphore",
+    "BoundedSemaphore": "semaphore",
+}
+
+#: Kinds that participate in the lock graph (events are signals, not
+#: mutual exclusion, and have no acquisition order).
+_GRAPH_KINDS = ("lock", "rlock", "condition", "semaphore")
+
+#: ``(owner, attr)`` call patterns that block the calling thread.
+_BLOCKING_OWNED = {
+    ("subprocess", "run"), ("subprocess", "Popen"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+    ("time", "sleep"), ("os", "fsync"), ("socket", "create_connection"),
+}
+
+#: Bare attribute names whose calls block regardless of owner.
+_BLOCKING_ATTRS = {
+    "communicate", "urlopen", "sendall", "recv", "accept", "connect",
+    "read_text", "write_text", "read_bytes", "write_bytes", "getresponse",
+}
+
+#: ``self.attr.<mutator>()`` calls treated as writes to ``attr``.
+_MUTATORS = {
+    "append", "extend", "insert", "pop", "popitem", "remove", "clear",
+    "update", "add", "discard", "setdefault", "appendleft", "popleft",
+}
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One statically identified synchronization object."""
+
+    lock_id: str       # e.g. "JobQueue._cond" or "server._REGISTRY_LOCK"
+    kind: str          # "lock" | "rlock" | "condition" | "event" | ...
+    filename: str
+    lineno: int
+
+    @property
+    def in_graph(self) -> bool:
+        return self.kind in _GRAPH_KINDS
+
+
+@dataclass
+class _CallSite:
+    """A resolvable call made with a known set of locks held."""
+
+    callee: str                   # qualname key into the summary map
+    held: FrozenSet[str]
+    lineno: int
+
+
+@dataclass
+class _Site:
+    """A line-level event (blocking call, notify, attribute write)."""
+
+    lineno: int
+    held: FrozenSet[str]
+    detail: str = ""
+
+
+@dataclass
+class _FnSummary:
+    """Everything the cross-function passes need about one function."""
+
+    qualname: str                 # "Class.method" or "module:func"
+    cls: Optional[str]
+    name: str
+    filename: str
+    lineno: int
+    acquires: List[Tuple[str, int]] = field(default_factory=list)
+    #: (held lock, acquired lock, lineno) observed lexically.
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    calls: List[_CallSite] = field(default_factory=list)
+    blocking: List[_Site] = field(default_factory=list)
+    #: notify/notify_all sites: detail carries the condition's lock id.
+    notifies: List[_Site] = field(default_factory=list)
+    #: Condition waits outside any ``while`` loop: (lock id, lineno).
+    loopless_waits: List[Tuple[str, int]] = field(default_factory=list)
+    #: self-attribute writes: detail carries the attribute name.
+    writes: List[_Site] = field(default_factory=list)
+    #: Non-reentrant locks re-acquired while already held locally.
+    self_deadlocks: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class _ClassModel:
+    """Per-class facts: locks, attribute types, entry points."""
+
+    name: str
+    filename: str
+    locks: Dict[str, LockInfo] = field(default_factory=dict)
+    #: attribute -> class name (``self.queue = JobQueue(...)``).
+    attr_classes: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, _FnSummary] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+    #: Methods that other threads enter (Thread targets, do_* handlers).
+    entries: Set[str] = field(default_factory=set)
+
+    @property
+    def is_request_handler(self) -> bool:
+        return any("RequestHandler" in base for base in self.bases)
+
+
+def _dotted(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``a.b`` / ``a.b.c`` attribute targets as (owner, attr)."""
+    if isinstance(node, ast.Attribute):
+        owner = node.value
+        if isinstance(owner, ast.Name):
+            return owner.id, node.attr
+        if isinstance(owner, ast.Attribute):
+            return owner.attr, node.attr
+    return None
+
+
+def _annotation_kind(node: Optional[ast.AST]) -> Optional[str]:
+    """The lock kind named by a parameter annotation, if any."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return _FACTORY_KINDS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        dotted = _dotted(node)
+        if dotted and dotted[0] == "threading":
+            return _FACTORY_KINDS.get(dotted[1])
+    return None
+
+
+def _factory_kind(node: ast.AST) -> Optional[str]:
+    """The lock kind constructed by ``node``, if it is a lock factory."""
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return _FACTORY_KINDS.get(fn.id)
+    dotted = _dotted(fn)
+    if dotted and dotted[0] == "threading":
+        return _FACTORY_KINDS.get(dotted[1])
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Model:
+    """The whole-program model: every module's classes and functions."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, _ClassModel] = {}
+        #: module-level locks by bare name, per file stem.
+        self.module_locks: Dict[str, LockInfo] = {}
+        self.functions: Dict[str, _FnSummary] = {}
+        self._sources: Dict[str, str] = {}
+
+    # -- phase 1: declaration scan -------------------------------------
+
+    def add_module(self, source: str, filename: str) -> Optional[Finding]:
+        """Parse one module and fold its declarations in."""
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            return CC001.finding(
+                f"{filename}:{exc.lineno or 0}",
+                f"not parseable: {exc.msg}",
+            )
+        self._sources[filename] = source
+        stem = Path(filename).stem
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                kind = _factory_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info = LockInfo(
+                            f"{stem}.{target.id}", kind, filename,
+                            node.lineno,
+                        )
+                        self.module_locks[target.id] = info
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(node, filename)
+            elif isinstance(node, ast.FunctionDef):
+                summary = _FnSummary(
+                    qualname=f"{stem}:{node.name}", cls=None,
+                    name=node.name, filename=filename, lineno=node.lineno,
+                )
+                self.functions.setdefault(node.name, summary)
+                self.functions[f"{stem}:{node.name}"] = summary
+        return None
+
+    def _add_class(self, node: ast.ClassDef, filename: str) -> None:
+        model = _ClassModel(name=node.name, filename=filename)
+        model.bases = [
+            base.id if isinstance(base, ast.Name) else
+            (base.attr if isinstance(base, ast.Attribute) else "")
+            for base in node.bases
+        ]
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            model.methods[item.name] = _FnSummary(
+                qualname=f"{node.name}.{item.name}", cls=node.name,
+                name=item.name, filename=filename, lineno=item.lineno,
+            )
+            self._scan_attr_decls(model, item)
+            if model.is_request_handler and item.name.startswith("do_"):
+                model.entries.add(item.name)
+        # First declaration wins on a cross-module name collision so the
+        # result is deterministic for sorted file order.
+        self.classes.setdefault(node.name, model)
+
+    def _scan_attr_decls(
+        self, model: _ClassModel, fn: ast.FunctionDef
+    ) -> None:
+        """Record lock attributes and attr->class bindings in ``fn``."""
+        annotated: Dict[str, str] = {}
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            kind = _annotation_kind(arg.annotation)
+            if kind is not None:
+                annotated[arg.arg] = kind
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                kind = _factory_kind(node.value)
+                if kind is None and isinstance(node.value, ast.Name):
+                    kind = annotated.get(node.value.id)
+                if kind is not None:
+                    model.locks.setdefault(attr, LockInfo(
+                        f"{model.name}.{attr}", kind, model.filename,
+                        node.lineno,
+                    ))
+                    continue
+                if isinstance(node.value, ast.Call) and isinstance(
+                    node.value.func, ast.Name
+                ):
+                    model.attr_classes.setdefault(
+                        attr, node.value.func.id
+                    )
+
+    # -- phase 2: per-function behavior scan ---------------------------
+
+    def scan_behavior(self) -> None:
+        for filename, source in sorted(self._sources.items()):
+            tree = ast.parse(source, filename=filename)
+            stem = Path(filename).stem
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    model = self.classes.get(node.name)
+                    if model is None or model.filename != filename:
+                        continue
+                    for item in node.body:
+                        if isinstance(item, ast.FunctionDef):
+                            self._scan_fn(
+                                model.methods[item.name], item, model
+                            )
+                elif isinstance(node, ast.FunctionDef):
+                    summary = self.functions.get(f"{stem}:{node.name}")
+                    if summary is not None:
+                        self._scan_fn(summary, node, None)
+
+    def _scan_fn(
+        self,
+        summary: _FnSummary,
+        fn: ast.FunctionDef,
+        model: Optional[_ClassModel],
+    ) -> None:
+        scanner = _FnScanner(self, summary, model)
+        scanner.scan(fn)
+
+    # -- lock / call resolution ----------------------------------------
+
+    def lock_of(
+        self, node: ast.AST, model: Optional[_ClassModel]
+    ) -> Optional[LockInfo]:
+        """Resolve an expression to a known synchronization object."""
+        attr = _self_attr(node)
+        if attr is not None and model is not None:
+            return model.locks.get(attr)
+        if isinstance(node, ast.Name):
+            return self.module_locks.get(node.id)
+        return None
+
+    def resolve_call(
+        self, node: ast.Call, model: Optional[_ClassModel]
+    ) -> Optional[_FnSummary]:
+        """The summary of a statically resolvable callee, if any."""
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            cls = self.classes.get(fn.id)
+            if cls is not None:
+                return cls.methods.get("__init__")
+            return self.functions.get(fn.id)
+        if not isinstance(fn, ast.Attribute):
+            return None
+        owner_attr = _self_attr(fn.value)
+        if isinstance(fn.value, ast.Name) and fn.value.id == "self":
+            if model is not None:
+                return model.methods.get(fn.attr)
+            return None
+        if owner_attr is not None and model is not None:
+            cls_name = model.attr_classes.get(owner_attr)
+            if cls_name is not None:
+                cls = self.classes.get(cls_name)
+                if cls is not None:
+                    return cls.methods.get(fn.attr)
+        return None
+
+    # -- phase 3: cross-function fixpoints -----------------------------
+
+    def _all_summaries(self) -> List[_FnSummary]:
+        seen: Dict[int, _FnSummary] = {}
+        for model in self.classes.values():
+            for summary in model.methods.values():
+                seen[id(summary)] = summary
+        for summary in self.functions.values():
+            seen[id(summary)] = summary
+        return sorted(
+            seen.values(), key=lambda s: (s.filename, s.lineno)
+        )
+
+    def held_contexts(self) -> Dict[str, Set[str]]:
+        """Locks held at some call site of each function, transitively."""
+        summaries = self._all_summaries()
+        by_name = {s.qualname: s for s in summaries}
+        context: Dict[str, Set[str]] = {s.qualname: set() for s in summaries}
+        changed = True
+        while changed:
+            changed = False
+            for summary in summaries:
+                inherited = context[summary.qualname]
+                for call in summary.calls:
+                    if call.callee not in by_name:
+                        continue
+                    incoming = set(call.held) | inherited
+                    target = context[call.callee]
+                    if not incoming <= target:
+                        target |= incoming
+                        changed = True
+        return context
+
+    def lock_graph(
+        self, context: Dict[str, Set[str]]
+    ) -> Dict[Tuple[str, str], Tuple[str, int]]:
+        """Every ``held -> acquired`` edge with one witness site each."""
+        edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for summary in self._all_summaries():
+            for held, acquired, lineno in summary.edges:
+                edges.setdefault(
+                    (held, acquired), (summary.filename, lineno)
+                )
+            inherited = context.get(summary.qualname, set())
+            for lock_id, lineno in summary.acquires:
+                for held in sorted(inherited):
+                    if held != lock_id:
+                        edges.setdefault(
+                            (held, lock_id), (summary.filename, lineno)
+                        )
+        return edges
+
+    def entry_reach(self) -> Dict[str, Set[str]]:
+        """Function qualname -> thread entry points that can reach it."""
+        summaries = self._all_summaries()
+        by_name = {s.qualname: s for s in summaries}
+        entries: List[str] = []
+        for model in sorted(self.classes.values(), key=lambda m: m.name):
+            for method in sorted(model.entries):
+                if method in model.methods:
+                    entries.append(model.methods[method].qualname)
+        reach: Dict[str, Set[str]] = {s.qualname: set() for s in summaries}
+        for entry in entries:
+            stack = [entry]
+            while stack:
+                name = stack.pop()
+                if entry in reach[name]:
+                    continue
+                reach[name].add(entry)
+                summary = by_name[name]
+                for call in summary.calls:
+                    if call.callee in by_name:
+                        stack.append(call.callee)
+        return reach
+
+    def construction_only(self, model: _ClassModel) -> Set[str]:
+        """Methods reachable *only* from ``__init__`` (single-threaded).
+
+        A method is construction-only when every in-class caller is
+        itself construction-only and it is not a thread entry point;
+        ``__init__``/``__new__`` seed the set.  A method nobody calls is
+        assumed to be API surface and stays out.
+        """
+        callers: Dict[str, Set[str]] = {name: set() for name in model.methods}
+        for name, summary in model.methods.items():
+            for call in summary.calls:
+                callee = call.callee
+                if "." in callee:
+                    cls, method = callee.split(".", 1)
+                    if cls == model.name and method in callers:
+                        callers[method].add(name)
+        exempt = {
+            name for name in ("__init__", "__new__") if name in model.methods
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(model.methods):
+                if name in exempt or name in model.entries:
+                    continue
+                if callers[name] and callers[name] <= exempt:
+                    exempt.add(name)
+                    changed = True
+        return exempt
+
+    # -- phase 4: findings ---------------------------------------------
+
+    def findings(self) -> List[Finding]:
+        self.scan_behavior()
+        context = self.held_contexts()
+        entry_reach = self.entry_reach()
+        hits: List[Tuple[Rule, str, int, str]] = []
+
+        self._find_cycles(context, hits)
+        self._find_blocking(context, hits)
+        self._find_unguarded(context, entry_reach, hits)
+        self._find_condition_misuse(context, hits)
+
+        findings: List[Finding] = []
+        allowed_by_file = {
+            filename: suppressed_lines(source)
+            for filename, source in self._sources.items()
+        }
+        for rule_obj, filename, lineno, message in sorted(
+            hits, key=lambda h: (h[1], h[2], h[0].rule_id, h[3])
+        ):
+            allowed = allowed_by_file.get(filename, {})
+            if rule_obj.rule_id in allowed.get(lineno, ()):
+                continue
+            findings.append(
+                rule_obj.finding(f"{filename}:{lineno}", message)
+            )
+        return findings
+
+    def _find_cycles(
+        self,
+        context: Dict[str, Set[str]],
+        hits: List[Tuple[Rule, str, int, str]],
+    ) -> None:
+        edges = self.lock_graph(context)
+        adjacency: Dict[str, Set[str]] = {}
+        for held, acquired in edges:
+            adjacency.setdefault(held, set()).add(acquired)
+            adjacency.setdefault(acquired, set())
+        for cycle in _cycles(adjacency):
+            witness = [
+                (pair, edges[pair])
+                for pair in zip(cycle, cycle[1:] + cycle[:1])
+                if pair in edges
+            ]
+            if not witness:
+                continue
+            order = " -> ".join(cycle + [cycle[0]])
+            sites = "; ".join(
+                f"{a}->{b} at {Path(fn).name}:{ln}"
+                for (a, b), (fn, ln) in witness
+            )
+            filename, lineno = witness[0][1]
+            hits.append((
+                CC001, filename, lineno,
+                f"lock-order inversion {order} ({sites}); threads taking "
+                f"these locks in opposite orders deadlock",
+            ))
+        for summary in self._all_summaries():
+            for lock_id, lineno in summary.self_deadlocks:
+                hits.append((
+                    CC001, summary.filename, lineno,
+                    f"non-reentrant lock {lock_id} acquired while already "
+                    f"held in {summary.qualname} (self-deadlock); use an "
+                    f"RLock or restructure",
+                ))
+
+    def _find_blocking(
+        self,
+        context: Dict[str, Set[str]],
+        hits: List[Tuple[Rule, str, int, str]],
+    ) -> None:
+        for summary in self._all_summaries():
+            inherited = context.get(summary.qualname, set())
+            for site in summary.blocking:
+                held = sorted(set(site.held) | inherited)
+                if not held:
+                    continue
+                hits.append((
+                    CC002, summary.filename, site.lineno,
+                    f"{site.detail} while holding {', '.join(held)} "
+                    f"in {summary.qualname}; every contender stalls for "
+                    f"the duration",
+                ))
+
+    def _find_unguarded(
+        self,
+        context: Dict[str, Set[str]],
+        entry_reach: Dict[str, Set[str]],
+        hits: List[Tuple[Rule, str, int, str]],
+    ) -> None:
+        for model in sorted(self.classes.values(), key=lambda m: m.name):
+            if not any(i.in_graph for i in model.locks.values()):
+                continue
+            exempt = self.construction_only(model)
+            by_attr: Dict[str, List[Tuple[_FnSummary, _Site, bool]]] = {}
+            for name, summary in sorted(model.methods.items()):
+                if name in exempt:
+                    continue
+                inherited = context.get(summary.qualname, set())
+                for site in summary.writes:
+                    guarded = bool(set(site.held) | inherited)
+                    by_attr.setdefault(site.detail, []).append(
+                        (summary, site, guarded)
+                    )
+            for attr, sites in sorted(by_attr.items()):
+                guarded_sites = [s for s in sites if s[2]]
+                unguarded = [s for s in sites if not s[2]]
+                if not unguarded:
+                    continue
+                entry_owners = {
+                    entry
+                    for summary, _site, _g in unguarded
+                    for entry in entry_reach.get(summary.qualname, ())
+                }
+                mixed = bool(guarded_sites)
+                racy_entries = len(entry_owners) > 1
+                if not mixed and not racy_entries:
+                    continue
+                for summary, site, _guarded in unguarded:
+                    if mixed:
+                        other = guarded_sites[0][0]
+                        reason = (
+                            f"also written under a lock in "
+                            f"{other.qualname}"
+                        )
+                    else:
+                        reason = (
+                            "written from multiple thread entry points "
+                            + ", ".join(sorted(entry_owners))
+                        )
+                    hits.append((
+                        CC003, summary.filename, site.lineno,
+                        f"unguarded write to shared attribute "
+                        f"{model.name}.{attr} in {summary.qualname} "
+                        f"({reason}); hold the lock or make the write "
+                        f"single-threaded",
+                    ))
+
+    def _find_condition_misuse(
+        self,
+        context: Dict[str, Set[str]],
+        hits: List[Tuple[Rule, str, int, str]],
+    ) -> None:
+        for summary in self._all_summaries():
+            inherited = context.get(summary.qualname, set())
+            for lock_id, lineno in summary.loopless_waits:
+                hits.append((
+                    CC004, summary.filename, lineno,
+                    f"{lock_id}.wait() outside a while loop in "
+                    f"{summary.qualname}; spurious wakeups require "
+                    f"re-checking the predicate (or use wait_for)",
+                ))
+            for site in summary.notifies:
+                if site.detail in set(site.held) | inherited:
+                    continue
+                hits.append((
+                    CC004, summary.filename, site.lineno,
+                    f"{site.detail} notified without its lock held in "
+                    f"{summary.qualname}; the woken thread can miss the "
+                    f"state change",
+                ))
+
+
+class _FnScanner:
+    """Statement-ordered walk of one function with a live held-set."""
+
+    def __init__(
+        self,
+        model: _Model,
+        summary: _FnSummary,
+        cls: Optional[_ClassModel],
+    ) -> None:
+        self.model = model
+        self.summary = summary
+        self.cls = cls
+        self.held: List[str] = []
+        self.loop_depth = 0
+
+    def scan(self, fn: ast.FunctionDef) -> None:
+        self._stmts(fn.body)
+
+    # -- statements ----------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run later, under unknown locks
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+            return
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.While):
+                self._exprs(stmt.test)
+                self.loop_depth += 1
+                self._stmts(stmt.body)
+                self.loop_depth -= 1
+            else:
+                self._exprs(stmt.iter)
+                self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._exprs(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._exprs(stmt.value)
+            for target in stmt.targets:
+                self._write_target(target, stmt.lineno)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._exprs(stmt.value)
+            self._write_target(stmt.target, stmt.lineno)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._exprs(stmt.value)
+            self._write_target(stmt.target, stmt.lineno)
+            return
+        # Everything else: scan contained expressions in order.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._exprs(child)
+
+    def _with(self, stmt: "ast.With | ast.AsyncWith") -> None:
+        acquired: List[str] = []
+        for item in stmt.items:
+            lock = self.model.lock_of(item.context_expr, self.cls)
+            if lock is not None and lock.in_graph:
+                self._acquire(lock, item.context_expr.lineno)
+                self.held.append(lock.lock_id)
+                acquired.append(lock.lock_id)
+            else:
+                self._exprs(item.context_expr)
+        self._stmts(stmt.body)
+        for lock_id in reversed(acquired):
+            if lock_id in self.held:
+                self.held.reverse()
+                self.held.remove(lock_id)
+                self.held.reverse()
+
+    # -- expressions ---------------------------------------------------
+
+    def _exprs(self, node: ast.expr) -> None:
+        """Process calls inside ``node`` in source order."""
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Lambda,)):
+                continue
+            if isinstance(child, ast.Call):
+                self._call(child)
+
+    def _call(self, node: ast.Call) -> None:
+        fn = node.func
+        lineno = node.lineno
+        held_now = frozenset(self.held)
+
+        # Thread entry registration: Thread(target=...), pool.submit(f).
+        self._note_entries(node)
+
+        if isinstance(fn, ast.Attribute):
+            lock = self.model.lock_of(fn.value, self.cls)
+            if lock is not None:
+                self._lock_method(lock, fn.attr, node, lineno, held_now)
+                return
+            dotted = _dotted(fn)
+            if dotted in _BLOCKING_OWNED:
+                self.summary.blocking.append(_Site(
+                    lineno, held_now,
+                    f"blocking call {dotted[0]}.{dotted[1]}()"
+                    if dotted else "blocking call",
+                ))
+            elif fn.attr in _BLOCKING_ATTRS:
+                self.summary.blocking.append(_Site(
+                    lineno, held_now, f"blocking call .{fn.attr}()"
+                ))
+            elif fn.attr == "open":
+                self.summary.blocking.append(_Site(
+                    lineno, held_now, "file I/O .open()"
+                ))
+            elif fn.attr == "join" and not node.args and not node.keywords:
+                self.summary.blocking.append(_Site(
+                    lineno, held_now, "blocking call .join()"
+                ))
+            # Mutator writes: self.attr.append(...) and friends.
+            owner = _self_attr(fn.value)
+            if (
+                owner is not None
+                and fn.attr in _MUTATORS
+                and self.cls is not None
+                and owner not in self.cls.locks
+            ):
+                self.summary.writes.append(
+                    _Site(lineno, held_now, owner)
+                )
+        elif isinstance(fn, ast.Name):
+            if fn.id == "open":
+                self.summary.blocking.append(_Site(
+                    lineno, held_now, "file I/O open()"
+                ))
+
+        callee = self.model.resolve_call(node, self.cls)
+        if callee is not None:
+            self.summary.calls.append(
+                _CallSite(callee.qualname, held_now, lineno)
+            )
+
+    def _lock_method(
+        self,
+        lock: LockInfo,
+        attr: str,
+        node: ast.Call,
+        lineno: int,
+        held_now: FrozenSet[str],
+    ) -> None:
+        """A method call *on* a known synchronization object."""
+        if attr == "acquire":
+            if lock.in_graph:
+                self._acquire(lock, lineno)
+                self.held.append(lock.lock_id)
+            return
+        if attr == "release":
+            if lock.lock_id in self.held:
+                self.held.reverse()
+                self.held.remove(lock.lock_id)
+                self.held.reverse()
+            return
+        if attr in ("notify", "notify_all") and lock.kind == "condition":
+            self.summary.notifies.append(
+                _Site(lineno, held_now, lock.lock_id)
+            )
+            return
+        if attr == "wait":
+            if lock.kind == "condition" and lock.lock_id in held_now:
+                if self.loop_depth == 0:
+                    self.summary.loopless_waits.append(
+                        (lock.lock_id, lineno)
+                    )
+                others = sorted(set(held_now) - {lock.lock_id})
+                if others:
+                    self.summary.blocking.append(_Site(
+                        lineno, frozenset(others),
+                        f"{lock.lock_id}.wait() (releases only its own "
+                        f"lock)",
+                    ))
+            else:
+                self.summary.blocking.append(_Site(
+                    lineno, held_now, f"blocking {lock.lock_id}.wait()"
+                ))
+            return
+        if attr == "wait_for" and lock.kind == "condition":
+            others = sorted(set(held_now) - {lock.lock_id})
+            if others:
+                self.summary.blocking.append(_Site(
+                    lineno, frozenset(others),
+                    f"{lock.lock_id}.wait_for() (releases only its own "
+                    f"lock)",
+                ))
+            return
+
+    def _acquire(self, lock: LockInfo, lineno: int) -> None:
+        self.summary.acquires.append((lock.lock_id, lineno))
+        if lock.lock_id in self.held and lock.kind == "lock":
+            self.summary.self_deadlocks.append((lock.lock_id, lineno))
+        for held in self.held:
+            if held != lock.lock_id:
+                self.summary.edges.append(
+                    (held, lock.lock_id, lineno)
+                )
+
+    def _note_entries(self, node: ast.Call) -> None:
+        """Mark methods handed to threads/executors as entry points."""
+        fn = node.func
+        is_thread = False
+        if isinstance(fn, ast.Name) and fn.id in ("Thread", "Timer"):
+            is_thread = True
+        dotted = _dotted(fn)
+        if dotted and dotted[0] == "threading" and dotted[1] in (
+            "Thread", "Timer",
+        ):
+            is_thread = True
+        target: Optional[ast.expr] = None
+        if is_thread:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = keyword.value
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("submit", "map", "call_soon", "start_new_thread")
+            and node.args
+        ):
+            target = node.args[0]
+        if target is None:
+            return
+        attr = _self_attr(target)
+        if attr is not None and self.cls is not None:
+            self.cls.entries.add(attr)
+
+    def _write_target(self, target: ast.expr, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._write_target(element, lineno)
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        attr = _self_attr(node)
+        if attr is None:
+            return
+        if self.cls is not None and attr in self.cls.locks:
+            return
+        self.summary.writes.append(
+            _Site(lineno, frozenset(self.held), attr)
+        )
+
+
+def _cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles of a small digraph, deterministic order.
+
+    Tarjan SCC first, then one representative cycle per non-trivial
+    component (the lexicographically smallest rotation of a DFS-found
+    cycle) — enough to report each inversion group once.
+    """
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(adjacency.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component: List[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            components.append(component)
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+
+    cycles: List[List[str]] = []
+    for component in components:
+        if len(component) < 2:
+            continue
+        ordered = sorted(component)
+        # Rotate so the smallest lock id leads; membership in one SCC
+        # guarantees a cycle through every member exists.
+        cycles.append(ordered)
+    return cycles
+
+
+def analyze_source(
+    source: str, filename: str = "<string>"
+) -> List[Finding]:
+    """Run the CC analysis over one module's source text."""
+    model = _Model()
+    parse_error = model.add_module(source, filename)
+    if parse_error is not None:
+        return [parse_error]
+    return model.findings()
+
+
+def analyze_paths(
+    paths: Optional[Iterable[Path]] = None,
+) -> List[Finding]:
+    """Run the CC analysis whole-program over ``paths``.
+
+    Defaults to the installed ``repro`` package, mirroring
+    :func:`repro.check.selflint.lint_paths`.  All modules are folded
+    into one model first, so cross-module class references (the HTTP
+    handler driving the queue, the executor sharing the metrics lock)
+    resolve before findings are computed.
+    """
+    roots = [Path(p) for p in paths] if paths else [default_lint_root()]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    model = _Model()
+    findings: List[Finding] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        parse_error = model.add_module(source, str(path))
+        if parse_error is not None:
+            findings.append(parse_error)
+    findings.extend(model.findings())
+    return findings

@@ -1,0 +1,518 @@
+"""Runtime lock sanitizer (rule ``CC005``): observed-order validation.
+
+The static lock graph built by :mod:`repro.check.concurrency` is sound
+only for the acquisition patterns it can resolve; this module validates
+it against *real* executions.  With ``REPRO_LOCKWATCH=1`` the test
+harness swaps ``threading.Lock`` / ``threading.RLock`` for instrumented
+wrappers that record, per thread, the order locks are taken, how long
+they are held and waited for, and any pair of locks observed in *both*
+orders across the run — a lock-order inversion, the runtime witness of
+a potential deadlock.  ``threading.Condition`` and ``threading.Event``
+construct their inner locks through the patched module-level factories,
+so they are covered transparently (and stay real ``Condition`` /
+``Event`` instances, so ``isinstance`` checks keep working).
+
+Locks are named by allocation site (``queue.py:57``), which is the same
+granularity the static pass reasons at.  Inversions are detected at
+object identity level — the two orders must involve the *same two lock
+objects* — so a report is never a cross-instance false positive.
+Results are aggregated in memory (sites, edges, totals — not per-event
+records) and written as an obs-format journal via
+:func:`repro.obs.journal.write_journal`; ``repro check --lockwatch``
+turns a written journal back into findings so inversions flow through
+the same report / ``--sarif`` / ``--fail-on`` machinery as every other
+rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from types import FrameType, TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Tuple, cast
+
+from ..obs.journal import (
+    environment_fingerprint,
+    read_journal,
+    write_journal,
+)
+from .findings import Finding, Severity
+from .rules import rule
+
+CC005 = rule(
+    "CC005", Severity.ERROR, "self",
+    "no lock-order inversions in observed executions (lockwatch)",
+)
+
+#: Opt-in switch: the shim installs only when this is "1".
+LOCKWATCH_ENV = "REPRO_LOCKWATCH"
+
+#: Where the harness writes the final report (a fixed path for CI).
+LOCKWATCH_OUT_ENV = "REPRO_LOCKWATCH_OUT"
+
+#: The real factories, captured before any patching.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_THIS_FILE = str(Path(__file__).resolve())
+_THREADING_FILE = str(Path(threading.__file__).resolve())
+
+
+def _allocation_site() -> str:
+    """``file.py:line`` of the nearest frame outside the machinery."""
+    frame: Optional[FrameType] = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in (_THIS_FILE, _THREADING_FILE):
+            break
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{Path(frame.f_code.co_filename).name}:{frame.f_lineno}"
+
+
+class _SiteStats:
+    """Aggregated counters for one allocation site."""
+
+    __slots__ = (
+        "site", "kind", "instances", "acquisitions",
+        "wait_total", "wait_max", "hold_total", "hold_max",
+    )
+
+    def __init__(self, site: str, kind: str) -> None:
+        self.site = site
+        self.kind = kind
+        self.instances = 0
+        self.acquisitions = 0
+        self.wait_total = 0.0
+        self.wait_max = 0.0
+        self.hold_total = 0.0
+        self.hold_max = 0.0
+
+    def as_point(self) -> Dict[str, object]:
+        return {
+            "type": "point",
+            "name": "lockwatch.lock",
+            "site": self.site,
+            "kind": self.kind,
+            "instances": self.instances,
+            "acquisitions": self.acquisitions,
+            "wait_total_s": round(self.wait_total, 6),
+            "wait_max_s": round(self.wait_max, 6),
+            "hold_total_s": round(self.hold_total, 6),
+            "hold_max_s": round(self.hold_max, 6),
+        }
+
+
+class _Tls(threading.local):
+    """Per-thread acquisition stack: (lock, t_acquired) entries."""
+
+    def __init__(self) -> None:
+        self.stack: List[Tuple["_WatchedLockBase", float]] = []
+
+
+class LockWatch:
+    """The process-wide recorder behind the instrumented locks."""
+
+    def __init__(self) -> None:
+        # The recorder's own lock must be a *real* one: instrumenting
+        # it would recurse.
+        self._state = _REAL_LOCK()
+        self._tls = _Tls()
+        self._sites: Dict[str, _SiteStats] = {}
+        # (id(held), id(acquired)) -> edge record; strong refs to every
+        # wrapper live in _registry so ids are never reused.
+        self._edges: Dict[Tuple[int, int], Dict[str, object]] = {}
+        self._registry: Dict[int, "_WatchedLockBase"] = {}
+        self._inversions: List[Dict[str, object]] = []
+        self._inverted_pairs: set = set()
+
+    # -- registration --------------------------------------------------
+
+    def register(self, lock: "_WatchedLockBase") -> None:
+        with self._state:
+            self._registry[id(lock)] = lock
+            stats = self._sites.get(lock.site)
+            if stats is None:
+                stats = _SiteStats(lock.site, lock.kind)
+                self._sites[lock.site] = stats
+            stats.instances += 1
+
+    # -- event recording -----------------------------------------------
+
+    def record_attempt(self, lock: "_WatchedLockBase") -> None:
+        """Order edges from every currently held lock to ``lock``."""
+        stack = self._tls.stack
+        if any(entry[0] is lock for entry in stack):
+            return  # reentrant re-acquire: no new ordering
+        if not stack:
+            return
+        held: List[_WatchedLockBase] = []
+        seen: set = set()
+        for entry in stack:
+            if id(entry[0]) not in seen:
+                held.append(entry[0])
+                seen.add(id(entry[0]))
+        thread = threading.current_thread().name
+        with self._state:
+            for holder in held:
+                self._record_edge(holder, lock, thread)
+
+    def _record_edge(
+        self,
+        holder: "_WatchedLockBase",
+        acquired: "_WatchedLockBase",
+        thread: str,
+    ) -> None:
+        key = (id(holder), id(acquired))
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = {
+                "src": holder.site,
+                "dst": acquired.site,
+                "count": 0,
+                "first_thread": thread,
+            }
+            self._edges[key] = edge
+        edge["count"] = cast(int, edge["count"]) + 1
+        reverse = self._edges.get((id(acquired), id(holder)))
+        if reverse is None:
+            return
+        pair = frozenset((id(holder), id(acquired)))
+        if pair in self._inverted_pairs:
+            return
+        self._inverted_pairs.add(pair)
+        self._inversions.append({
+            "type": "point",
+            "name": "lockwatch.inversion",
+            "a": acquired.site,
+            "b": holder.site,
+            "first_order": [acquired.site, holder.site],
+            "first_thread": reverse["first_thread"],
+            "second_order": [holder.site, acquired.site],
+            "second_thread": thread,
+        })
+
+    def _stats_for(self, lock: "_WatchedLockBase") -> _SiteStats:
+        """Stats for a lock's site (self-healing: a wrapper created
+        before a ``reset()`` must keep working after it)."""
+        stats = self._sites.get(lock.site)
+        if stats is None:
+            stats = _SiteStats(lock.site, lock.kind)
+            self._sites[lock.site] = stats
+        return stats
+
+    def record_acquired(
+        self, lock: "_WatchedLockBase", waited: float
+    ) -> None:
+        now = time.perf_counter()  # check: allow(DT002)
+        self._tls.stack.append((lock, now))
+        with self._state:
+            stats = self._stats_for(lock)
+            stats.acquisitions += 1
+            stats.wait_total += waited
+            stats.wait_max = max(stats.wait_max, waited)
+
+    def record_released(self, lock: "_WatchedLockBase") -> None:
+        stack = self._tls.stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                _lock, t_acquired = stack.pop(index)
+                held = time.perf_counter() - t_acquired  # check: allow(DT002)
+                with self._state:
+                    stats = self._stats_for(lock)
+                    stats.hold_total += held
+                    stats.hold_max = max(stats.hold_max, held)
+                return
+
+    def drop_all(self, lock: "_WatchedLockBase") -> int:
+        """Pop every stack entry for ``lock`` (Condition release_save)."""
+        stack = self._tls.stack
+        count = 0
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                stack.pop(index)
+                count += 1
+        return count
+
+    def push_back(self, lock: "_WatchedLockBase", count: int) -> None:
+        now = time.perf_counter()  # check: allow(DT002)
+        for _ in range(count):
+            self._tls.stack.append((lock, now))
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregate counters as one plain dict (for tests / debug)."""
+        with self._state:
+            return {
+                "sites": {
+                    site: stats.as_point()
+                    for site, stats in sorted(self._sites.items())
+                },
+                "edges": [
+                    dict(edge) for _key, edge in sorted(
+                        self._edges.items(),
+                        key=lambda kv: (
+                            str(kv[1]["src"]), str(kv[1]["dst"]),
+                        ),
+                    )
+                ],
+                "inversions": [dict(i) for i in self._inversions],
+            }
+
+    def journal_events(self) -> List[Dict[str, object]]:
+        """The report as obs-journal events (meta + points)."""
+        snap = self.snapshot()
+        sites = cast(Dict[str, Dict[str, object]], snap["sites"])
+        edges = cast(List[Dict[str, object]], snap["edges"])
+        inversions = cast(List[Dict[str, object]], snap["inversions"])
+        events: List[Dict[str, object]] = [{
+            "type": "meta",
+            "label": "lockwatch",
+            "fingerprint": environment_fingerprint(),
+        }]
+        events.extend(sites[site] for site in sorted(sites))
+        for edge in edges:
+            events.append({
+                "type": "point", "name": "lockwatch.edge", **edge,
+            })
+        events.extend(inversions)
+        events.append({
+            "type": "point",
+            "name": "lockwatch.summary",
+            "locks": len(sites),
+            "edges": len(edges),
+            "inversions": len(inversions),
+        })
+        return events
+
+    def reset(self) -> None:
+        with self._state:
+            self._sites.clear()
+            self._edges.clear()
+            self._registry.clear()
+            self._inversions.clear()
+            self._inverted_pairs.clear()
+
+
+class _WatchedLockBase:
+    """Shared plumbing for the Lock and RLock wrappers."""
+
+    kind = "lock"
+
+    def __init__(self, watch: LockWatch, inner: Any) -> None:
+        self._watch = watch
+        self._inner = inner
+        self.site = _allocation_site()
+        watch.register(self)
+
+    def acquire(
+        self, blocking: bool = True, timeout: float = -1
+    ) -> bool:
+        self._watch.record_attempt(self)
+        start = time.perf_counter()  # check: allow(DT002)
+        ok = bool(self._inner.acquire(blocking, timeout))
+        if ok:
+            waited = time.perf_counter() - start  # check: allow(DT002)
+            self._watch.record_acquired(self, waited)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watch.record_released(self)
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<lockwatch {self.kind} at {self.site}>"
+
+
+class _WatchedLock(_WatchedLockBase):
+    """Instrumented ``threading.Lock``."""
+
+    kind = "lock"
+
+    def __init__(self, watch: LockWatch) -> None:
+        super().__init__(watch, _REAL_LOCK())
+
+
+class _WatchedRLock(_WatchedLockBase):
+    """Instrumented ``threading.RLock``.
+
+    Provides the private ``_release_save`` / ``_acquire_restore`` /
+    ``_is_owned`` hooks ``threading.Condition`` looks for, so a
+    Condition built on an instrumented RLock keeps exact wait
+    semantics while the watch's held-stack stays truthful across
+    ``wait()``.
+    """
+
+    kind = "rlock"
+
+    def __init__(self, watch: LockWatch) -> None:
+        super().__init__(watch, _REAL_RLOCK())
+
+    def _release_save(self) -> Tuple[Any, int]:
+        count = self._watch.drop_all(self)
+        return cast(Any, self._inner)._release_save(), count
+
+    def _acquire_restore(self, state: Tuple[Any, int]) -> None:
+        inner_state, count = state
+        self._watch.record_attempt(self)
+        start = time.perf_counter()  # check: allow(DT002)
+        cast(Any, self._inner)._acquire_restore(inner_state)
+        waited = time.perf_counter() - start  # check: allow(DT002)
+        self._watch.record_acquired(self, waited)
+        if count > 1:
+            self._watch.push_back(self, count - 1)
+
+    def _is_owned(self) -> bool:
+        return bool(cast(Any, self._inner)._is_owned())
+
+
+#: The default process-wide watch.
+_WATCH = LockWatch()
+
+#: The recorder newly created wrappers bind to (swapped by
+#: :func:`scoped_watch` so defect-seeding tests don't pollute a
+#: session-wide report).
+_CURRENT = _WATCH
+
+_INSTALLED = False
+
+
+def watch() -> LockWatch:
+    """The currently active :class:`LockWatch` recorder."""
+    return _CURRENT
+
+
+def enabled() -> bool:
+    """True when ``REPRO_LOCKWATCH=1`` opts the process in."""
+    return os.environ.get(LOCKWATCH_ENV, "") == "1"
+
+
+def installed() -> bool:
+    return _INSTALLED
+
+
+def install() -> bool:
+    """Patch the ``threading`` lock factories; True if newly installed.
+
+    Only ``Lock`` and ``RLock`` are replaced: ``Condition`` and
+    ``Event`` reach the patched factories through the ``threading``
+    module globals, so they are instrumented without being wrapped.
+    Locks created *before* install stay uninstrumented.
+    """
+    global _INSTALLED
+    if _INSTALLED:
+        return False
+    setattr(threading, "Lock", lambda: _WatchedLock(_CURRENT))
+    setattr(threading, "RLock", lambda: _WatchedRLock(_CURRENT))
+    _INSTALLED = True
+    return True
+
+
+def uninstall() -> bool:
+    """Restore the real factories; True if previously installed."""
+    global _INSTALLED
+    if not _INSTALLED:
+        return False
+    setattr(threading, "Lock", _REAL_LOCK)
+    setattr(threading, "RLock", _REAL_RLOCK)
+    _INSTALLED = False
+    return True
+
+
+@contextmanager
+def scoped_watch() -> Iterator[LockWatch]:
+    """Route locks created inside the block into a fresh recorder.
+
+    For tests that *seed* defects (a deliberate inversion) while a
+    session-wide lockwatch may be active: the seeded events land in the
+    scoped recorder, not the session report, so a clean real run stays
+    clean.  Installs the shim if it wasn't already; restores everything
+    on exit.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    scoped = LockWatch()
+    _CURRENT = scoped
+    did_install = install()
+    try:
+        yield scoped
+    finally:
+        _CURRENT = previous
+        if did_install:
+            uninstall()
+
+
+def write_report(path: Optional[Path] = None) -> Path:
+    """Write the aggregated report as a lockwatch journal.
+
+    An explicit ``path`` (or ``$REPRO_LOCKWATCH_OUT``) writes exactly
+    there — CI wants a fixed artifact name; otherwise the journal goes
+    to the standard journal directory via
+    :func:`repro.obs.journal.write_journal`.
+    """
+    events = _CURRENT.journal_events()
+    if path is None:
+        out = os.environ.get(LOCKWATCH_OUT_ENV, "")
+        path = Path(out) if out else None
+    if path is None:
+        return write_journal(events, label="lockwatch")
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True, default=str))
+            handle.write("\n")
+    return path
+
+
+def findings_from_journal(path: Path) -> List[Finding]:
+    """CC005 findings for every inversion recorded in a journal.
+
+    Raises ``ValueError`` when the file is not a lockwatch journal
+    (no ``lockwatch.summary`` point).
+    """
+    events = read_journal(path)
+    summary = [
+        e for e in events if e.get("name") == "lockwatch.summary"
+    ]
+    if not summary:
+        raise ValueError(
+            f"{path} is not a lockwatch journal "
+            f"(no lockwatch.summary event)"
+        )
+    findings: List[Finding] = []
+    for event in events:
+        if event.get("name") != "lockwatch.inversion":
+            continue
+        first = " -> ".join(event.get("first_order", ["?", "?"]))
+        second = " -> ".join(event.get("second_order", ["?", "?"]))
+        findings.append(CC005.finding(
+            str(path),
+            f"observed lock-order inversion: thread "
+            f"{event.get('first_thread', '?')!r} took {first} while "
+            f"thread {event.get('second_thread', '?')!r} took {second}; "
+            f"these orders deadlock under contention",
+        ))
+    return findings

@@ -11,7 +11,9 @@ tool metadata for rules that produced no findings.
 Rule id scheme: a two-letter family prefix plus a 3-digit number —
 ``NL`` netlist structure, ``LB`` library/realization consistency, ``PK``
 packing legality, ``PL`` placement, ``RT`` routing, ``EQ`` equivalence,
-``DT`` codebase determinism.
+``DT`` codebase determinism, ``CC`` codebase concurrency.  A bare
+family prefix is itself a valid ``--rules`` selector and expands to
+every rule in the family.
 """
 
 from __future__ import annotations
@@ -31,6 +33,11 @@ class Rule:
     stage: str             # "netlist" | "library" | "packing" | ...
     description: str       # the invariant, one line
     paper_ref: str = ""    # figure/section the invariant encodes
+
+    @property
+    def family(self) -> str:
+        """The two-letter family prefix of the rule id (``NL``, ``CC``)."""
+        return self.rule_id[:2]
 
     def finding(
         self,
@@ -83,11 +90,33 @@ class RuleRegistry:
     def ids(self) -> List[str]:
         return sorted(self._rules)
 
+    def families(self) -> List[str]:
+        """Every registered two-letter family prefix, sorted."""
+        return sorted({r.family for r in self._rules.values()})
+
+    def for_family(self, family: str) -> List[Rule]:
+        return [r for r in self.all() if r.family == family]
+
     def validate_selection(self, rule_ids: Iterable[str]) -> Set[str]:
-        """Resolve a ``--rules`` selection, raising on unknown ids."""
+        """Resolve a ``--rules`` selection, raising on unknown ids.
+
+        A selector is either a full rule id (``CC001``) or a bare
+        two-letter family prefix (``CC``), which expands to every rule
+        in that family.
+        """
         selected = set()
         for rule_id in rule_ids:
-            selected.add(self.get(rule_id).rule_id)
+            if rule_id in self._rules:
+                selected.add(rule_id)
+                continue
+            family = [
+                r.rule_id for r in self._rules.values()
+                if r.family == rule_id
+            ]
+            if family:
+                selected.update(family)
+                continue
+            self.get(rule_id)  # raises with the known-id list
         return selected
 
 

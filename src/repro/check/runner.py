@@ -168,7 +168,8 @@ def check_design_run(
 
 def rule_catalog() -> List[Rule]:
     """Every registered rule, importing all analyzer families first."""
-    # Import for registration side effects; selflint registers DT rules.
-    from . import selflint  # noqa: F401
+    # Import for registration side effects: selflint registers the DT
+    # rules, concurrency CC001-CC004, lockwatch CC005.
+    from . import concurrency, lockwatch, selflint  # noqa: F401
 
     return REGISTRY.all()

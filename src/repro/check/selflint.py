@@ -243,8 +243,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressed_lines(source: str) -> Dict[int, Set[str]]:
-    """Line -> rule ids allowed by ``# check: allow(DTnnn)`` comments."""
+def suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """Line -> rule ids allowed by ``# check: allow(XXnnn)`` comments.
+
+    Shared by every codebase-lint family (DT here, CC in
+    :mod:`repro.check.concurrency`): a justified finding is silenced
+    with an inline ``# check: allow(<rule id>)`` on the offending line.
+    """
     allowed: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         marker = "# check: allow("
@@ -276,7 +281,7 @@ def lint_source(
     time_exempt = any(part in TIME_EXEMPT_PARTS for part in parts)
     visitor = _DeterminismVisitor(filename, time_exempt)
     visitor.visit(tree)
-    allowed = _suppressed_lines(source)
+    allowed = suppressed_lines(source)
     findings: List[Finding] = []
     for rule_obj, lineno, message in visitor.hits:
         if rule_obj.rule_id in allowed.get(lineno, ()):

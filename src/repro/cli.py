@@ -12,8 +12,11 @@ Commands
     Static verification: run the flow for the named designs (default:
     all shipped benchmarks) and audit every stage artifact with the
     :mod:`repro.check` rule families; ``--self`` lints the ``repro``
-    source tree for determinism hazards instead.  ``--json`` / ``--sarif``
-    emit machine-readable findings; exit status reflects ``--fail-on``.
+    source tree itself instead (determinism ``DT`` + concurrency ``CC``
+    families), and ``--lockwatch JOURNAL`` reports lock-order
+    inversions observed at runtime by the ``REPRO_LOCKWATCH=1``
+    sanitizer.  ``--json`` / ``--sarif`` emit machine-readable
+    findings; exit status reflects ``--fail-on``.
 ``tables``
     Regenerate the paper's Tables 1 and 2 (plus the compaction summary).
 ``explore``
@@ -142,39 +145,73 @@ def _cmd_check(args: argparse.Namespace, reporter: Reporter) -> int:
 
     from .check import (
         REGISTRY,
+        CheckError,
         Report,
         Severity,
+        analyze_paths,
         check_design_run,
         filter_findings,
+        findings_from_journal,
         lint_paths,
         rule_catalog,
     )
 
     rules = rule_catalog()
     if args.list_rules:
-        for rule_obj in rules:
-            ref = f"  [{rule_obj.paper_ref}]" if rule_obj.paper_ref else ""
-            reporter.out(
-                f"{rule_obj.rule_id}  {rule_obj.severity.label:7s} "
-                f"{rule_obj.stage:11s} {rule_obj.description}{ref}"
-            )
+        family_names = {
+            "NL": "netlist structure",
+            "LB": "library / realization consistency",
+            "PK": "packing legality",
+            "PL": "placement",
+            "RT": "routing",
+            "EQ": "equivalence",
+            "DT": "codebase determinism (--self)",
+            "CC": "codebase concurrency (--self / lockwatch)",
+        }
+        for family in REGISTRY.families():
+            label = family_names.get(family, "")
+            reporter.out(f"{family}  {label}".rstrip())
+            for rule_obj in REGISTRY.for_family(family):
+                ref = (
+                    f"  [{rule_obj.paper_ref}]" if rule_obj.paper_ref else ""
+                )
+                reporter.out(
+                    f"  {rule_obj.rule_id}  {rule_obj.severity.label:7s} "
+                    f"{rule_obj.stage:11s} {rule_obj.description}{ref}"
+                )
         return 0
 
     rule_ids = None
     if args.rules:
-        rule_ids = {
+        raw_ids = {
             token.strip()
             for part in args.rules
             for token in part.split(",")
             if token.strip()
         }
-        REGISTRY.validate_selection(rule_ids)
+        # Selection may name bare families (CC) as well as full ids.
+        rule_ids = REGISTRY.validate_selection(raw_ids)
 
     report = Report()
+    if args.lockwatch:
+        reporter.info(f"reading lockwatch journal {args.lockwatch}...")
+        try:
+            observed = findings_from_journal(Path(args.lockwatch))
+        except (CheckError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report.extend(filter_findings(observed, rule_ids))
     if args.self:
-        reporter.info("linting src/repro for determinism hazards...")
-        report.extend(filter_findings(lint_paths(), rule_ids))
-    else:
+        families = (
+            {rid[:2] for rid in rule_ids} if rule_ids is not None else None
+        )
+        if families is None or "DT" in families:
+            reporter.info("linting src/repro for determinism hazards...")
+            report.extend(filter_findings(lint_paths(), rule_ids))
+        if families is None or "CC" in families:
+            reporter.info("analyzing src/repro lock discipline...")
+            report.extend(filter_findings(analyze_paths(), rule_ids))
+    if not args.self and not args.lockwatch:
         from .flow.experiments import build_design
         from .flow.flow import run_design
         from .flow.options import FlowOptions
@@ -637,8 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="IDS",
                        help="comma-separated rule ids to report (repeatable)")
     check.add_argument("--self", action="store_true",
-                       help="lint src/repro for determinism hazards instead "
-                            "of auditing flow artifacts")
+                       help="lint src/repro itself (determinism + "
+                            "concurrency families) instead of auditing "
+                            "flow artifacts")
+    check.add_argument("--lockwatch", metavar="JOURNAL", default=None,
+                       help="report observed lock-order inversions from a "
+                            "lockwatch journal (written by a test run "
+                            "under REPRO_LOCKWATCH=1)")
     check.add_argument("--list-rules", action="store_true",
                        help="print the rule catalog and exit")
     check.add_argument("--fail-on", choices=["info", "warning", "error"],

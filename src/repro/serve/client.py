@@ -12,13 +12,13 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, cast
 
 
 class ServeError(RuntimeError):
     """An HTTP-level failure, carrying the status and decoded body."""
 
-    def __init__(self, status: int, payload: Any, url: str):
+    def __init__(self, status: int, payload: Any, url: str) -> None:
         self.status = status
         self.payload = payload
         self.url = url
@@ -27,15 +27,17 @@ class ServeError(RuntimeError):
 
     @property
     def retry_after(self) -> Optional[int]:
-        value = (self.payload or {}).get("retry_after") \
-            if isinstance(self.payload, dict) else None
-        return value
+        if isinstance(self.payload, dict):
+            value = self.payload.get("retry_after")
+            if isinstance(value, int):
+                return value
+        return None
 
 
 class ServeClient:
     """Synchronous client bound to one server base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
@@ -103,31 +105,40 @@ class ServeClient:
             payload["design"] = design
         if timeout_seconds is not None:
             payload["timeout_seconds"] = timeout_seconds
-        return self._request("POST", "/v1/jobs", payload)
+        return cast(
+            Dict[str, Any], self._request("POST", "/v1/jobs", payload)
+        )
 
     def job(self, job_id: str) -> Dict[str, Any]:
-        return self._request("GET", f"/v1/jobs/{job_id}")
+        return cast(
+            Dict[str, Any], self._request("GET", f"/v1/jobs/{job_id}")
+        )
 
     def jobs(self) -> List[Dict[str, Any]]:
-        return self._request("GET", "/v1/jobs")["jobs"]
+        return cast(
+            List[Dict[str, Any]],
+            self._request("GET", "/v1/jobs")["jobs"],
+        )
 
     def events(
         self, job_id: str, since: int = 0, wait: float = 0.0
     ) -> Dict[str, Any]:
-        return self._request(
+        return cast(Dict[str, Any], self._request(
             "GET",
             f"/v1/jobs/{job_id}/events?since={since}&wait={wait}",
             timeout=max(self.timeout, wait + 10.0),
-        )
+        ))
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
-        return self._request("DELETE", f"/v1/jobs/{job_id}")
+        return cast(
+            Dict[str, Any], self._request("DELETE", f"/v1/jobs/{job_id}")
+        )
 
     def healthz(self) -> Dict[str, Any]:
-        return self._request("GET", "/v1/healthz")
+        return cast(Dict[str, Any], self._request("GET", "/v1/healthz"))
 
     def metrics_text(self) -> str:
-        return self._request("GET", "/v1/metrics")
+        return cast(str, self._request("GET", "/v1/metrics"))
 
     def wait(
         self,

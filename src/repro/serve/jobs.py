@@ -174,6 +174,8 @@ def derive_request_key(spec: JobSpec) -> str:
                     cache, netlist, spec.flow_options(arch)
                 ))
         return stable_hash("tables", *keys)
+    if spec.design is None:  # unreachable past admission validation
+        raise ValueError(f"kind {spec.kind!r} requires a design")
     netlist = build_design(spec.design, spec.scale)
     return stable_hash(
         spec.kind, request_key(cache, netlist, spec.flow_options())

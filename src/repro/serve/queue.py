@@ -36,7 +36,7 @@ from .jobs import Job, JobSpec, job_id_for
 class QueueFull(RuntimeError):
     """Admission control: queue depth is at the configured limit."""
 
-    def __init__(self, depth: int, limit: int, retry_after: int = 2):
+    def __init__(self, depth: int, limit: int, retry_after: int = 2) -> None:
         self.depth = depth
         self.limit = limit
         self.retry_after = retry_after
@@ -48,7 +48,7 @@ class QueueFull(RuntimeError):
 class JobQueue:
     """Thread-safe persistent priority queue of :class:`Job` records."""
 
-    def __init__(self, root: Path, limit: int = 16):
+    def __init__(self, root: Path, limit: int = 16) -> None:
         self.root = Path(root)
         self.limit = limit
         self.root.mkdir(parents=True, exist_ok=True)
@@ -67,12 +67,18 @@ class JobQueue:
     # -- persistence ---------------------------------------------------
 
     def _append(self, record: Dict[str, Any]) -> None:
-        """Append one journal line (caller holds the lock)."""
-        with self.journal_path.open("a", encoding="utf-8") as handle:
+        """Append one journal line (caller holds the lock).
+
+        Writing under the lock is deliberate: journal order must equal
+        state-mutation order or a replay reconstructs a different
+        queue.  The cost is bounded (one line + fsync) and admission
+        control bounds the rate.
+        """
+        with self.journal_path.open("a", encoding="utf-8") as handle:  # check: allow(CC002)
             handle.write(json.dumps(record, sort_keys=True, default=str))
             handle.write("\n")
             handle.flush()
-            os.fsync(handle.fileno())
+            os.fsync(handle.fileno())  # check: allow(CC002)
 
     def _replay(self) -> None:
         """Rebuild queue state from the journal (startup only)."""
@@ -180,8 +186,11 @@ class JobQueue:
         timeout so executor loops can poll their stop flag.
         """
         with self._cond:
-            if not self._heap:
-                self._cond.wait(timeout)
+            # wait_for re-checks the predicate in a loop, so a spurious
+            # wakeup (or a wakeup for a job another worker claims first)
+            # goes back to sleep for the remaining timeout instead of
+            # returning None early.
+            self._cond.wait_for(lambda: bool(self._heap), timeout)
             while self._heap:
                 _rank, _seq, job_id = heapq.heappop(self._heap)
                 job = self._jobs[job_id]
@@ -343,8 +352,13 @@ class JobQueue:
             "attrs": attrs,
         }
         path = self.events_dir / f"{job_id}.jsonl"
+        # The executor thread running the job is the only writer of its
+        # stream, so the append needs no lock — holding the queue
+        # condition across disk I/O would stall every submit/claim for
+        # the duration of the write.  The condition is taken only to
+        # wake long-pollers once the line is durable.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, sort_keys=True, default=str))
+            handle.write("\n")
         with self._cond:
-            with path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(event, sort_keys=True, default=str))
-                handle.write("\n")
             self._cond.notify_all()

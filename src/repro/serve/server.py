@@ -98,7 +98,7 @@ class ServeConfig:
 class _Budget:
     """Counting allocator for the shared subprocess budget."""
 
-    def __init__(self, total: int):
+    def __init__(self, total: int) -> None:
         self._free = max(0, total)
         self._lock = threading.Lock()
 
@@ -118,7 +118,7 @@ class Executor:
     """Bounded pool of job-executing threads over a :class:`JobQueue`."""
 
     def __init__(self, queue: JobQueue, config: ServeConfig,
-                 metrics: Metrics, metrics_lock: threading.Lock):
+                 metrics: Metrics, metrics_lock: threading.Lock) -> None:
         self.queue = queue
         self.config = config
         self.metrics = metrics
@@ -249,6 +249,8 @@ class Executor:
             )
 
         if spec.kind in ("flow", "check"):
+            if spec.design is None:  # unreachable past admission
+                raise ValueError(f"kind {spec.kind!r} requires a design")
             options = spec.flow_options()
             netlist = build_design(spec.design, spec.scale)
             run = run_design(
@@ -294,8 +296,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
-    def log_message(self, fmt: str, *args: Any) -> None:
-        self.server.repro.log(f"{self.address_string()} {fmt % args}")
+    def log_message(self, format: str, *args: Any) -> None:
+        self.server.repro.log(f"{self.address_string()} {format % args}")
 
     def _send_json(self, status: int, payload: Dict[str, Any],
                    headers: Optional[Dict[str, str]] = None) -> None:
@@ -431,7 +433,7 @@ class ReproServer:
     """The assembled service: queue + executor + HTTP front end."""
 
     def __init__(self, config: ServeConfig,
-                 log: Optional[Callable[[str], None]] = None):
+                 log: Optional[Callable[[str], None]] = None) -> None:
         self.config = config
         self.queue = JobQueue(
             config.resolved_queue_dir(), limit=config.queue_limit

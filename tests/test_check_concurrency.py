@@ -1,0 +1,426 @@
+"""Tests for the CC concurrency rule family (repro.check.concurrency).
+
+Each ERROR rule gets a corrupted-fixture test: a synthetic module with
+a seeded defect (a known lock-order inversion, a lock held across a
+subprocess launch, a guarded/unguarded attribute pair, a loopless
+condition wait) that the analyzer must flag — plus clean twins it must
+not flag, suppression-comment behavior, and the CLI integration
+(`--self --rules CC`, family selectors, grouped --list-rules).
+"""
+
+import json
+
+import pytest
+
+from repro.check import REGISTRY, analyze_paths, analyze_source
+from repro.cli import main
+
+
+def rules_of(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+# ----------------------------------------------------------------------
+# CC001: lock-order inversions
+# ----------------------------------------------------------------------
+
+INVERSION = '''
+import threading
+
+class Service:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._b:
+            with self._a:
+                pass
+'''
+
+INVERSION_INTERPROCEDURAL = '''
+import threading
+
+class Service:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            self._helper()
+
+    def _helper(self):
+        with self._b:
+            pass
+
+    def two(self):
+        with self._b:
+            with self._a:
+                pass
+'''
+
+ORDERED = '''
+import threading
+
+class Service:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._a:
+            with self._b:
+                pass
+'''
+
+SELF_DEADLOCK = '''
+import threading
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            with self._lock:
+                pass
+'''
+
+
+class TestLockOrder:
+    def test_inversion_is_flagged(self):
+        findings = analyze_source(INVERSION, "inv.py")
+        assert "CC001" in rules_of(findings)
+        message = next(f for f in findings if f.rule_id == "CC001").message
+        assert "Service._a" in message and "Service._b" in message
+
+    def test_inversion_through_the_call_graph(self):
+        findings = analyze_source(INVERSION_INTERPROCEDURAL, "inv2.py")
+        assert "CC001" in rules_of(findings)
+
+    def test_consistent_order_is_clean(self):
+        assert analyze_source(ORDERED, "ok.py") == []
+
+    def test_nonreentrant_self_acquire(self):
+        findings = analyze_source(SELF_DEADLOCK, "self.py")
+        assert "CC001" in rules_of(findings)
+        assert "self-deadlock" in findings[0].message
+
+    def test_rlock_self_acquire_is_fine(self):
+        findings = analyze_source(
+            SELF_DEADLOCK.replace("threading.Lock()", "threading.RLock()"),
+            "rlock.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# CC002: blocking calls under a lock
+# ----------------------------------------------------------------------
+
+BLOCKING_SUBPROCESS = '''
+import subprocess
+import threading
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def run(self):
+        with self._lock:
+            subprocess.run(["true"])
+'''
+
+BLOCKING_OPEN = '''
+import threading
+
+class Writer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.path = "out.txt"
+
+    def write(self, text):
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(text)
+'''
+
+
+class TestBlockingUnderLock:
+    def test_subprocess_under_lock(self):
+        findings = analyze_source(BLOCKING_SUBPROCESS, "sub.py")
+        assert rules_of(findings) == ["CC002"]
+        assert "subprocess.run" in findings[0].message
+
+    def test_file_io_under_lock(self):
+        findings = analyze_source(BLOCKING_OPEN, "io.py")
+        assert "CC002" in rules_of(findings)
+
+    def test_blocking_outside_lock_is_clean(self):
+        source = BLOCKING_SUBPROCESS.replace(
+            'with self._lock:\n            subprocess.run(["true"])',
+            'subprocess.run(["true"])',
+        )
+        assert analyze_source(source, "free.py") == []
+
+    def test_interprocedural_held_context(self):
+        source = '''
+import subprocess
+import threading
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self._inner()
+
+    def _inner(self):
+        subprocess.run(["true"])
+'''
+        findings = analyze_source(source, "ctx.py")
+        assert "CC002" in rules_of(findings)
+
+    def test_allow_comment_suppresses(self):
+        source = BLOCKING_SUBPROCESS.replace(
+            'subprocess.run(["true"])',
+            'subprocess.run(["true"])  # check: allow(CC002)',
+        )
+        assert analyze_source(source, "ok.py") == []
+
+
+# ----------------------------------------------------------------------
+# CC003: guarded-somewhere must be guarded-everywhere
+# ----------------------------------------------------------------------
+
+MIXED_GUARD = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0
+'''
+
+TWO_ENTRY_POINTS = '''
+import threading
+
+class Pipeline:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def start(self):
+        threading.Thread(target=self._produce).start()
+        threading.Thread(target=self._consume).start()
+
+    def _produce(self):
+        self.items.append(1)
+
+    def _consume(self):
+        self.items.pop()
+'''
+
+
+class TestGuardConsistency:
+    def test_mixed_guard_flags_the_unguarded_site(self):
+        findings = analyze_source(MIXED_GUARD, "mix.py")
+        assert rules_of(findings) == ["CC003"]
+        assert "Counter.count" in findings[0].message
+        assert "Counter.reset" in findings[0].message
+
+    def test_construction_writes_are_exempt(self):
+        source = MIXED_GUARD.replace(
+            "    def reset(self):\n        self.count = 0\n", ""
+        )
+        assert analyze_source(source, "ok.py") == []
+
+    def test_init_only_helpers_are_exempt(self):
+        source = '''
+import threading
+
+class Replayed:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self._replay()
+
+    def _replay(self):
+        self.count = 1
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+'''
+        assert analyze_source(source, "replay.py") == []
+
+    def test_unguarded_writes_from_two_thread_entries(self):
+        findings = analyze_source(TWO_ENTRY_POINTS, "pipe.py")
+        assert set(rules_of(findings)) == {"CC003"}
+        assert len(findings) == 2  # both unguarded sites reported
+
+    def test_consistently_guarded_is_clean(self):
+        source = TWO_ENTRY_POINTS.replace(
+            "        self.items.append(1)",
+            "        with self._lock:\n            self.items.append(1)",
+        ).replace(
+            "        self.items.pop()",
+            "        with self._lock:\n            self.items.pop()",
+        )
+        assert analyze_source(source, "ok.py") == []
+
+
+# ----------------------------------------------------------------------
+# CC004: condition-variable discipline
+# ----------------------------------------------------------------------
+
+WAIT_NOT_IN_LOOP = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.ready = False
+
+    def take(self):
+        with self._cond:
+            if not self.ready:
+                self._cond.wait()
+            return self.ready
+'''
+
+NOTIFY_WITHOUT_LOCK = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.ready = False
+
+    def put(self):
+        with self._cond:
+            self.ready = True
+        self._cond.notify_all()
+'''
+
+
+class TestConditionMisuse:
+    def test_wait_outside_while_is_flagged(self):
+        findings = analyze_source(WAIT_NOT_IN_LOOP, "wait.py")
+        assert "CC004" in rules_of(findings)
+        assert "while" in findings[0].message
+
+    def test_wait_in_while_is_clean(self):
+        source = WAIT_NOT_IN_LOOP.replace(
+            "if not self.ready:", "while not self.ready:"
+        )
+        assert analyze_source(source, "ok.py") == []
+
+    def test_wait_for_is_clean(self):
+        source = WAIT_NOT_IN_LOOP.replace(
+            "if not self.ready:\n                self._cond.wait()",
+            "self._cond.wait_for(lambda: self.ready)",
+        )
+        assert analyze_source(source, "ok.py") == []
+
+    def test_notify_without_lock_is_flagged(self):
+        findings = analyze_source(NOTIFY_WITHOUT_LOCK, "notify.py")
+        assert "CC004" in rules_of(findings)
+        assert "notified without its lock" in str(
+            [f.message for f in findings]
+        )
+
+    def test_notify_under_lock_is_clean(self):
+        source = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.ready = False
+
+    def put(self):
+        with self._cond:
+            self.ready = True
+            self._cond.notify_all()
+'''
+        assert analyze_source(source, "ok.py") == []
+
+
+# ----------------------------------------------------------------------
+# Whole-repo + framework integration
+# ----------------------------------------------------------------------
+
+class TestRepoIsClean:
+    def test_repro_package_has_no_cc_findings(self):
+        assert analyze_paths() == []
+
+
+class TestFamilySelection:
+    def test_family_prefix_expands(self):
+        selected = REGISTRY.validate_selection({"CC"})
+        assert {"CC001", "CC002", "CC003", "CC004", "CC005"} <= selected
+
+    def test_mixed_family_and_id(self):
+        selected = REGISTRY.validate_selection({"CC", "DT001"})
+        assert "CC002" in selected and "DT001" in selected
+        assert "DT002" not in selected
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(KeyError, match="unknown rule id"):
+            REGISTRY.validate_selection({"ZZ"})
+
+    def test_families_listed(self):
+        from repro.check import rule_catalog
+
+        rule_catalog()
+        assert {"CC", "DT"} <= set(REGISTRY.families())
+
+
+class TestCheckCli:
+    def test_self_with_cc_family_is_clean(self, capsys):
+        assert main([
+            "-q", "check", "--self", "--rules", "CC",
+            "--fail-on", "warning",
+        ]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_self_runs_both_families_clean(self, capsys):
+        assert main(["-q", "check", "--self", "--fail-on", "warning"]) == 0
+
+    def test_list_rules_groups_by_family(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        cc_header = next(
+            i for i, line in enumerate(lines) if line.startswith("CC ")
+        )
+        assert "concurrency" in lines[cc_header]
+        assert lines[cc_header + 1].strip().startswith("CC001")
+
+    def test_sarif_carries_cc_rules(self, capsys):
+        assert main([
+            "-q", "check", "--self", "--rules", "CC", "--sarif",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert any(r["id"] == "CC001" for r in driver["rules"])

@@ -239,6 +239,83 @@ class TestJobQueue:
         assert len(revived.jobs()) == 1
 
 
+class TestQueueConcurrency:
+    """Regression tests for defects the CC static rules surfaced (PR 9).
+
+    ``claim`` used a bare ``Condition.wait`` inside an ``if`` (CC004):
+    a spurious wakeup — or any notify that didn't enqueue work, like a
+    cancellation — made it give up its whole timeout early.  ``emit``
+    wrote the per-job event file while holding the queue condition
+    (CC002): every submit/claim stalled behind disk I/O.
+    """
+
+    def test_claim_timeout_waits_out_unproductive_notifies(self, tmp_path):
+        queue = JobQueue(tmp_path, limit=8)
+
+        def nudge():
+            # A notify with nothing enqueued (e.g. a cancellation).
+            time.sleep(0.05)
+            with queue._cond:
+                queue._cond.notify_all()
+
+        nudger = threading.Thread(target=nudge)
+        nudger.start()
+        started = time.monotonic()
+        assert queue.claim(timeout=0.5) is None
+        elapsed = time.monotonic() - started
+        nudger.join()
+        assert elapsed >= 0.4, (
+            f"claim returned after {elapsed:.3f}s; an unproductive "
+            f"notify must not consume the caller's timeout"
+        )
+
+    def test_claim_wakes_promptly_on_submit(self, tmp_path):
+        queue = JobQueue(tmp_path, limit=8)
+        claimed = []
+
+        def claimer():
+            claimed.append(queue.claim(timeout=10.0))
+
+        worker = threading.Thread(target=claimer)
+        worker.start()
+        time.sleep(0.05)  # let the claimer block
+        started = time.monotonic()
+        job = queue.submit(fast_spec(), "key-wake")
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert time.monotonic() - started < 5.0
+        assert claimed and claimed[0] is not None
+        assert claimed[0].id == job.id
+
+    def test_zero_timeout_claim_still_works(self, tmp_path):
+        queue = JobQueue(tmp_path, limit=8)
+        assert queue.claim(timeout=0) is None
+        job = queue.submit(fast_spec(), "key-z")
+        assert queue.claim(timeout=0).id == job.id
+
+    def test_emit_wakes_long_pollers(self, tmp_path):
+        queue = JobQueue(tmp_path, limit=8)
+        job = queue.submit(fast_spec(), "key-emit")
+        path = queue.events_path(job.id)
+        woken = []
+
+        def poller():
+            woken.append(queue.wait_for_change(
+                lambda: path.exists() and path.stat().st_size > 0,
+                timeout=5.0,
+            ))
+
+        waiter = threading.Thread(target=poller)
+        waiter.start()
+        time.sleep(0.05)
+        queue.emit(job.id, "job.stage", stage="synth")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert woken == [True]
+        # The event line landed, outside the lock, before the wakeup.
+        assert "job.stage" in path.read_text()
+
+
 # ----------------------------------------------------------------------
 # End-to-end over HTTP
 # ----------------------------------------------------------------------
