@@ -6,11 +6,15 @@ Two analyzer families share one findings model:
   realization tables, placements, packings, routing results — without
   re-executing the stage, plus a small-cone formal equivalence oracle.
 * **Self checks** lint the ``repro`` source tree itself:
-  :mod:`repro.check.selflint` for determinism hazards (``DT``) and
+  :mod:`repro.check.selflint` for determinism hazards (``DT``),
   :mod:`repro.check.concurrency` for lock-order inversions, locks held
   across blocking calls, unguarded shared writes, and condition-variable
   misuse (``CC``), validated at runtime by the opt-in
-  :mod:`repro.check.lockwatch` sanitizer (``REPRO_LOCKWATCH=1``).
+  :mod:`repro.check.lockwatch` sanitizer (``REPRO_LOCKWATCH=1``), and
+  :mod:`repro.check.cachekey` for cache-key coherence and stage purity
+  (``CK``) — per-stage options read-sets diffed against the
+  ``stage_cache_key`` chain — validated at runtime by the opt-in
+  :mod:`repro.check.keytrace` tracer (``REPRO_KEYTRACE=1``).
 
 Entry points: ``repro check`` on the CLI, ``FlowOptions(check=True)``
 inside the flow, or the functions re-exported here.
@@ -31,6 +35,12 @@ from .equiv_rules import check_equivalence
 from .selflint import lint_paths, lint_source
 from .concurrency import analyze_paths, analyze_source
 from .lockwatch import findings_from_journal
+from .cachekey import (
+    StageKeyModel,
+    analyze_cache_keys,
+    static_stage_model,
+)
+from .keytrace import findings_from_keytrace_journal
 from .runner import (
     CHECK_STAGES,
     check_design_run,
@@ -62,6 +72,10 @@ __all__ = [
     "analyze_paths",
     "analyze_source",
     "findings_from_journal",
+    "StageKeyModel",
+    "analyze_cache_keys",
+    "static_stage_model",
+    "findings_from_keytrace_journal",
     "CHECK_STAGES",
     "check_design_run",
     "check_stage",

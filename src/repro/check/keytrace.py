@@ -1,0 +1,286 @@
+"""Runtime options-access tracer (rule ``CK005``).
+
+The static read-sets built by :mod:`repro.check.cachekey` are a model
+of the flow; this module validates that model against *real*
+executions.  With ``REPRO_KEYTRACE=1``,
+:func:`repro.flow.flow.compute_stage` wraps its ``FlowOptions`` in a
+recording proxy before dispatching to the stage compute function, so
+every ``options.<field>`` read that actually happens during a stage is
+journaled with its stage and count.  The wrap happens *after* cache-key
+derivation (``stage_keys`` runs on the raw options), so the trace is
+exactly the compute-side read-set the cache-key contract is about.
+
+``repro check --keytrace JOURNAL`` replays a written journal against
+the static model and reports CK005 when the three-way containment
+
+    observed reads  ⊆  static reads  ⊆  keyed chain ∪ perf knobs
+
+is violated for any stage: an observed read outside the static model is
+a soundness witness against the analyzer (a call edge it failed to
+resolve); an observed read outside the key chain is a live cache-key
+incoherence — the strongest possible evidence, because the read
+*happened*.  Results are aggregated in memory (per-(stage, field)
+counts, not per-event records) and written as an obs-format journal via
+:func:`repro.obs.journal.write_journal`, so keytrace findings flow
+through the same report / ``--sarif`` / ``--fail-on`` machinery as
+every other rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..flow.options import FlowOptions
+from ..obs.journal import (
+    environment_fingerprint,
+    read_journal,
+    write_journal,
+)
+from .findings import Finding, Severity
+from .rules import rule
+
+CK005 = rule(
+    "CK005", Severity.ERROR, "self",
+    "runtime-observed options reads stay within the static read-set "
+    "and the stage key chain (keytrace)",
+)
+
+#: Opt-in switch: compute_stage wraps options only when this is "1".
+KEYTRACE_ENV = "REPRO_KEYTRACE"
+
+#: Where the harness writes the final report (a fixed path for CI).
+KEYTRACE_OUT_ENV = "REPRO_KEYTRACE_OUT"
+
+#: The attribute names the proxy records: exactly the dataclass fields.
+#: Method lookups (``to_dict``…) pass through unrecorded.
+_FIELD_NAMES = frozenset(f.name for f in dataclass_fields(FlowOptions))
+
+
+class KeyTrace:
+    """The process-wide recorder behind the options proxies."""
+
+    def __init__(self) -> None:
+        # threading.Lock may be lockwatch-instrumented when both runtime
+        # sanitizers are enabled; either way it is a working lock.
+        self._state = threading.Lock()
+        self._reads: Dict[Tuple[str, str], int] = {}
+
+    def record(self, stage: str, attr: str) -> None:
+        with self._state:
+            key = (stage, attr)
+            self._reads[key] = self._reads.get(key, 0) + 1
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Observed reads as ``{stage: {field: count}}``."""
+        with self._state:
+            out: Dict[str, Dict[str, int]] = {}
+            for (stage, attr), count in sorted(self._reads.items()):
+                out.setdefault(stage, {})[attr] = count
+            return out
+
+    def journal_events(self) -> List[Dict[str, object]]:
+        """The report as obs-journal events (meta + points)."""
+        snap = self.snapshot()
+        events: List[Dict[str, object]] = [{
+            "type": "meta",
+            "label": "keytrace",
+            "fingerprint": environment_fingerprint(),
+        }]
+        total = 0
+        for stage in sorted(snap):
+            for attr in sorted(snap[stage]):
+                count = snap[stage][attr]
+                total += count
+                events.append({
+                    "type": "point",
+                    "name": "keytrace.read",
+                    "stage": stage,
+                    "field": attr,
+                    "count": count,
+                })
+        events.append({
+            "type": "point",
+            "name": "keytrace.summary",
+            "stages": len(snap),
+            "fields": sum(len(v) for v in snap.values()),
+            "reads": total,
+        })
+        return events
+
+    def reset(self) -> None:
+        with self._state:
+            self._reads.clear()
+
+
+class _TracedOptions:
+    """Attribute-recording proxy around one stage's ``FlowOptions``.
+
+    Underscored slot names keep every dataclass field lookup on the
+    ``__getattr__`` path; non-field attributes (methods, dunders asked
+    for explicitly) pass through to the real object unrecorded.
+    """
+
+    __slots__ = ("_keytrace_stage", "_keytrace_target", "_keytrace_rec")
+
+    def __init__(
+        self, stage: str, target: FlowOptions, recorder: KeyTrace
+    ) -> None:
+        self._keytrace_stage = stage
+        self._keytrace_target = target
+        self._keytrace_rec = recorder
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(self._keytrace_target, name)
+        if name in _FIELD_NAMES:
+            self._keytrace_rec.record(self._keytrace_stage, name)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"<keytrace proxy stage={self._keytrace_stage!r} "
+            f"of {self._keytrace_target!r}>"
+        )
+
+
+#: The default process-wide trace.
+_TRACE = KeyTrace()
+
+#: The recorder new proxies bind to (swapped by :func:`scoped_trace`
+#: so tests don't pollute a session-wide report).
+_CURRENT = _TRACE
+
+
+def trace() -> KeyTrace:
+    """The currently active :class:`KeyTrace` recorder."""
+    return _CURRENT
+
+
+def enabled() -> bool:
+    """True when ``REPRO_KEYTRACE=1`` opts the process in."""
+    return os.environ.get(KEYTRACE_ENV, "") == "1"
+
+
+def traced(stage: str, options: FlowOptions) -> FlowOptions:
+    """Wrap ``options`` in a recording proxy for one stage execution.
+
+    The proxy is duck-typed: stage compute functions only ever *read*
+    option fields, so it is returned as a ``FlowOptions`` for the
+    caller's purposes.
+    """
+    if isinstance(options, _TracedOptions):
+        return options  # idempotent: nested compute paths wrap once
+    proxy: Any = _TracedOptions(stage, options, _CURRENT)
+    return proxy  # type: ignore[no-any-return]
+
+
+@contextmanager
+def scoped_trace() -> Iterator[KeyTrace]:
+    """Route proxies created inside the block into a fresh recorder.
+
+    For tests that run deliberately incoherent stages while a
+    session-wide keytrace may be active: the seeded reads land in the
+    scoped recorder, not the session report.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    scoped = KeyTrace()
+    _CURRENT = scoped
+    try:
+        yield scoped
+    finally:
+        _CURRENT = previous
+
+
+def write_report(path: Optional[Path] = None) -> Path:
+    """Write the aggregated trace as a keytrace journal.
+
+    An explicit ``path`` (or ``$REPRO_KEYTRACE_OUT``) writes exactly
+    there — CI wants a fixed artifact name; otherwise the journal goes
+    to the standard journal directory via
+    :func:`repro.obs.journal.write_journal`.
+    """
+    events = _CURRENT.journal_events()
+    if path is None:
+        out = os.environ.get(KEYTRACE_OUT_ENV, "")
+        path = Path(out) if out else None
+    if path is None:
+        return write_journal(events, label="keytrace")
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True, default=str))
+            handle.write("\n")
+    return path
+
+
+def findings_from_keytrace_journal(
+    path: Path, model: Optional[Any] = None
+) -> List[Finding]:
+    """CK005 findings for every out-of-model read in a journal.
+
+    ``model`` is a :class:`repro.check.cachekey.StageKeyModel` (built
+    from the working tree when not given).  Raises ``ValueError`` when
+    the file is not a keytrace journal (no ``keytrace.summary`` point).
+    """
+    events = read_journal(path)
+    summary = [
+        e for e in events if e.get("name") == "keytrace.summary"
+    ]
+    if not summary:
+        raise ValueError(
+            f"{path} is not a keytrace journal "
+            f"(no keytrace.summary event)"
+        )
+    if model is None:
+        from .cachekey import static_stage_model
+
+        model = static_stage_model()
+    findings: List[Finding] = []
+    for event in events:
+        if event.get("name") != "keytrace.read":
+            continue
+        stage = str(event.get("stage", "?"))
+        attr = str(event.get("field", "?"))
+        count = event.get("count", "?")
+        if stage not in model.stages:
+            findings.append(CK005.finding(
+                str(path),
+                f"journal records reads of options.{attr} in unknown "
+                f"stage {stage!r} (model stages: "
+                f"{', '.join(model.stages)})",
+            ))
+            continue
+        if attr not in model.reads.get(stage, frozenset()):
+            findings.append(CK005.finding(
+                str(path),
+                f"stage {stage!r} read options.{attr} at runtime "
+                f"({count}x) but the static model never predicted it — "
+                f"an unresolved call edge in repro.check.cachekey",
+                fix_hint=(
+                    "teach the static pass about the call path, or "
+                    "stop passing options down it"
+                ),
+            ))
+        covered = model.keyed_chain(stage) | model.perf_knobs
+        if attr not in covered:
+            findings.append(CK005.finding(
+                str(path),
+                f"stage {stage!r} read options.{attr} at runtime "
+                f"({count}x) but its cache-key chain never includes it "
+                f"and it is not a declared perf knob — live cache-key "
+                f"incoherence",
+                fix_hint=(
+                    f"add options.{attr} to stage_cache_key for "
+                    f"{stage!r} (or a keyed ancestor), or add it to "
+                    f"PERF_KNOBS"
+                ),
+            ))
+    return findings

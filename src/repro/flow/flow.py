@@ -27,6 +27,7 @@ cache events are recorded on the returned :class:`DesignRun`.
 from __future__ import annotations
 
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -131,8 +132,12 @@ def architecture_of(name) -> PLBArchitecture:
         return lut_plb()
     if name == "granular":
         return granular_plb()
-    if name in _CUSTOM_ARCHITECTURES:
-        return _CUSTOM_ARCHITECTURES[name]
+    # The registry read is ambient state in stage-reachable code, but it
+    # is cache-coherent by construction: the synthesis key embeds
+    # repr(architecture) — the resolved *content*, not the name — so two
+    # registrations of different archs under one name cannot collide.
+    if name in _CUSTOM_ARCHITECTURES:  # check: allow(CK003)
+        return _CUSTOM_ARCHITECTURES[name]  # check: allow(CK003)
     raise ValueError(f"unknown architecture {name!r}")
 
 
@@ -340,6 +345,7 @@ def _run_physical(synthesis: SynthesisResult, options: FlowOptions) -> PhysicalR
         iterations=options.place_iterations,
         effort=options.place_effort,
         engine=options.sa_engine,
+        utilization=options.utilization,
     )
 
 
@@ -476,7 +482,7 @@ def stage_cache_key(
     if stage == "physical":
         return cache.key(
             "physical", parent_key, options.seed, options.place_iterations,
-            options.place_effort, options.period,
+            options.place_effort, options.period, options.utilization,
         )
     if stage == "route_a":
         return cache.key(
@@ -516,14 +522,29 @@ def request_key(
     """The sha256 identity of one flow request, for coalescing.
 
     Derived from the full stage-cache key chain, so it inherits the
-    chain's contract exactly: performance knobs (``jobs``, ``schedule``,
-    ``use_cache``, ``observe``, ``sa_engine``) do not participate, and
-    two requests share a key if and only if every stage of one would be
-    a cache hit for the other.  ``repro.serve`` coalesces concurrent
+    chain's contract exactly: performance knobs (the fields in
+    :data:`repro.flow.options.PERF_KNOBS`) do not participate, and two
+    requests share a key if and only if every stage of one would be a
+    cache hit for the other.  ``repro.serve`` coalesces concurrent
     submissions with equal keys onto a single execution.
     """
     keys = stage_keys(cache, netlist, options)
     return stable_hash("request", *(keys[stage] for stage in STAGES))
+
+
+def _keytrace_options(stage: str, options: FlowOptions) -> FlowOptions:
+    """Wrap ``options`` in the keytrace recording proxy when enabled.
+
+    Gated on ``$REPRO_KEYTRACE`` directly (not through
+    :mod:`repro.check.keytrace`) so untraced runs — the overwhelmingly
+    common case, including every scheduler worker — never import
+    ``repro.check`` at all.
+    """
+    if os.environ.get("REPRO_KEYTRACE", "") != "1":  # check: allow(CK003)
+        return options
+    from ..check import keytrace
+
+    return keytrace.traced(stage, options)
 
 
 def compute_stage(
@@ -538,7 +559,11 @@ def compute_stage(
     ``STAGE_INPUTS[stage]``; the root stage takes the source ``netlist``
     instead.  Pure per (inputs, options, seed) — that purity is what
     makes both the stage cache and cross-process scheduling sound.
+    Under ``REPRO_KEYTRACE=1`` the options object is wrapped in a
+    recording proxy so :mod:`repro.check.keytrace` can journal the
+    attributes each stage actually reads (rule CK005).
     """
+    options = _keytrace_options(stage, options)
     if stage == "synthesis":
         return synthesize(netlist, options)
     if stage == "physical":

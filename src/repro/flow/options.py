@@ -7,6 +7,20 @@ from typing import Any, Dict, Optional
 
 from ..timing.sta import DEFAULT_CLOCK_PERIOD_NS
 
+#: Performance/observability knobs: the FlowOptions fields that NEVER
+#: change computed results and are therefore excluded from stage cache
+#: keys (and, by construction, from ``request_key`` coalescing).  This
+#: frozenset is the single source of truth for that contract — the key
+#: builders in :mod:`repro.flow.flow`, the submittable-option list in
+#: :mod:`repro.serve.jobs`, and the ``CK`` static-analysis family in
+#: :mod:`repro.check.cachekey` all derive from (or are checked against)
+#: it.  Adding a field here is a *claim* that cached and fresh runs are
+#: bit-identical under any value of the field; ``repro check --rules CK``
+#: and the key-sensitivity property test enforce the claim.
+PERF_KNOBS = frozenset({
+    "jobs", "schedule", "use_cache", "observe", "check", "sa_engine",
+})
+
 
 @dataclass(frozen=True)
 class FlowOptions:
@@ -46,6 +60,13 @@ class FlowOptions:
     default ``"array"``).  Both engines are bit-identical — same float
     sequence, same RNG stream, same placements — so like the other
     performance knobs it is excluded from stage cache keys.
+
+    ``utilization`` is the flow-a standard-cell utilization target: die
+    sizing inflates total cell area by ``1/utilization`` when building
+    the placement grid.  It is a *semantic* knob (placement and die area
+    depend on it), so it participates in the ``physical`` stage cache
+    key.  The :data:`PERF_KNOBS` frozenset above is the authoritative
+    list of fields that do NOT participate in cache keys.
     """
 
     arch: str = "granular"

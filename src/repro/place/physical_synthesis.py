@@ -17,7 +17,12 @@ from ..netlist.core import Netlist
 from ..timing.sta import TimingReport, analyze
 from ..timing.wires import WireModel, wire_model_from_placement
 from .buffers import insert_buffers
-from .grid import PlacementGrid, Site, grid_for_netlist
+from .grid import (
+    DEFAULT_UTILIZATION,
+    PlacementGrid,
+    Site,
+    grid_for_netlist,
+)
 from .sa import AnnealingPlacer, Placement
 
 #: Criticality weighting strength in the placement cost.
@@ -65,12 +70,17 @@ def run_physical_synthesis(
     grid: Optional[PlacementGrid] = None,
     effort: float = 1.0,
     engine: Optional[str] = None,
+    utilization: float = DEFAULT_UTILIZATION,
 ) -> PhysicalResult:
     """Place-and-optimize loop; mutates ``netlist`` (buffer insertion).
 
     ``engine`` picks the annealer cost engine (``None`` defers to
     ``$REPRO_SA_ENGINE``, then ``"array"``); both engines produce
     bit-identical placements, so it only affects wall time.
+
+    ``utilization`` sizes the standard-cell site grid when no explicit
+    ``grid`` is given (flow a die sizing); it changes placement and die
+    area, so the flow keys the physical stage on it.
     """
     weights: Dict[str, float] = {}
     buffers_added = 0
@@ -80,7 +90,7 @@ def run_physical_synthesis(
     }
 
     for iteration in range(max(1, iterations)):
-        work_grid = grid or grid_for_netlist(netlist)
+        work_grid = grid or grid_for_netlist(netlist, utilization=utilization)
         placer = AnnealingPlacer(
             netlist,
             work_grid,

@@ -12,9 +12,9 @@ content-addressed stage-cache key chain
 (:func:`repro.flow.flow.request_key`), prefixed by the job kind.  Two
 submissions with equal keys are, by the cache's own contract, the same
 computation — the queue coalesces them onto one execution and both
-submitters receive the result.  Performance knobs (``jobs``,
-``schedule``, ``use_cache``, ``observe``, ``sa_engine``) are excluded
-from stage keys and therefore from request keys.
+submitters receive the result.  Performance knobs (the fields in
+:data:`repro.flow.options.PERF_KNOBS`) are excluded from stage keys and
+therefore from request keys.
 """
 
 from __future__ import annotations
@@ -23,9 +23,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from dataclasses import fields as dataclass_fields
+
 from ..flow.cache import StageCache, stable_hash
 from ..flow.flow import request_key
-from ..flow.options import FlowOptions
+from ..flow.options import PERF_KNOBS, FlowOptions
 
 #: Job kinds, in the order the README documents them.
 KINDS = ("flow", "tables", "check")
@@ -40,14 +42,24 @@ STATES = ("queued", "running", "done", "failed", "cancelled")
 
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
-#: Flow-option fields a submission may set.  ``arch`` is top-level on
-#: the spec (rejecting it here keeps one source of truth), and the
-#: perf/observability knobs are server policy, not request content.
-_SUBMITTABLE_OPTIONS = (
-    "seed", "period", "opt_effort", "run_compaction", "place_iterations",
-    "place_effort", "pack_iterations", "pack_headroom", "utilization",
-    "routing_tracks", "routing_bins_per_side", "check",
-)
+#: Perf knobs a submission may set anyway.  ``check`` never changes
+#: computed results (it only audits stage artifacts and aborts on fatal
+#: findings), but whether to pay for the audit is a per-request choice,
+#: not server policy — so it is re-admitted here.  Must stay a subset
+#: of :data:`repro.flow.options.PERF_KNOBS` (enforced by rule CK004).
+_SUBMITTABLE_PERF_KNOBS = ("check",)
+
+#: Flow-option fields a submission may set: every semantic (cache-keyed)
+#: field, plus the re-admitted perf knobs above.  Derived from the
+#: dataclass and :data:`~repro.flow.options.PERF_KNOBS` so a new
+#: FlowOptions field is submittable by default and a new perf knob is
+#: excluded by default — no hand-maintained list to drift.  ``arch`` is
+#: top-level on the spec (rejecting it here keeps one source of truth).
+_SUBMITTABLE_OPTIONS = tuple(sorted(
+    ({f.name for f in dataclass_fields(FlowOptions)} - PERF_KNOBS
+     - {"arch"})
+    | set(_SUBMITTABLE_PERF_KNOBS)
+))
 
 
 def known_designs() -> List[str]:
